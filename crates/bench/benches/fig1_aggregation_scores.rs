@@ -1,0 +1,81 @@
+//! Fig. 1(b)/(c): local (PPR) vs global (SimRank) aggregation scores around
+//! centre nodes on the Texas-like heterophilous graph.
+//!
+//! For a set of centre nodes, we compare how much aggregation weight each
+//! scheme assigns to *same-label* nodes versus *different-label* nodes.
+//! The paper's qualitative finding: PPR concentrates weight on (mostly
+//! differently-labelled) neighbours, while SimRank assigns its largest
+//! weights to same-label nodes regardless of distance.
+
+use sigma_bench::{BenchConfig, TablePrinter};
+use sigma_datasets::DatasetPreset;
+use sigma_simrank::{exact_simrank, power_iteration_ppr, PprConfig, SimRankConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let data = DatasetPreset::Texas
+        .build(cfg.scale, 42)
+        .expect("texas preset");
+    println!("Fig. 1(b)/(c) — aggregation score homophily on {}", data.summary());
+
+    let simrank = exact_simrank(&data.graph, &SimRankConfig::default()).expect("exact SimRank");
+    let ppr_cfg = PprConfig::default();
+
+    // Pick centre nodes with reasonable degree so both schemes have support.
+    let centres: Vec<usize> = (0..data.num_nodes())
+        .filter(|&v| data.graph.degree(v) >= 2)
+        .take(10)
+        .collect();
+
+    let mut table = TablePrinter::new(vec![
+        "centre",
+        "label",
+        "PPR same-label mass",
+        "PPR diff-label mass",
+        "SimRank same-label mass",
+        "SimRank diff-label mass",
+    ]);
+    let mut ppr_same_total = 0.0f64;
+    let mut ppr_diff_total = 0.0f64;
+    let mut sim_same_total = 0.0f64;
+    let mut sim_diff_total = 0.0f64;
+    for &centre in &centres {
+        let ppr = power_iteration_ppr(&data.graph, centre, &ppr_cfg).expect("ppr");
+        let (mut ppr_same, mut ppr_diff) = (0.0f64, 0.0f64);
+        let (mut sim_same, mut sim_diff) = (0.0f64, 0.0f64);
+        for v in 0..data.num_nodes() {
+            if v == centre {
+                continue;
+            }
+            let same = data.labels[v] == data.labels[centre];
+            if same {
+                ppr_same += ppr[v];
+                sim_same += simrank.get(centre, v) as f64;
+            } else {
+                ppr_diff += ppr[v];
+                sim_diff += simrank.get(centre, v) as f64;
+            }
+        }
+        ppr_same_total += ppr_same;
+        ppr_diff_total += ppr_diff;
+        sim_same_total += sim_same;
+        sim_diff_total += sim_diff;
+        table.add_row(vec![
+            centre.to_string(),
+            data.labels[centre].to_string(),
+            format!("{ppr_same:.4}"),
+            format!("{ppr_diff:.4}"),
+            format!("{sim_same:.4}"),
+            format!("{sim_diff:.4}"),
+        ]);
+    }
+    table.print("Fig. 1: per-centre aggregation mass by label agreement");
+
+    let ppr_ratio = ppr_same_total / (ppr_same_total + ppr_diff_total);
+    let sim_ratio = sim_same_total / (sim_same_total + sim_diff_total);
+    println!("aggregate same-label share: PPR (local) = {ppr_ratio:.3}, SimRank (SIGMA) = {sim_ratio:.3}");
+    println!(
+        "paper shape: SimRank's share should exceed PPR's on heterophilous graphs -> {}",
+        if sim_ratio > ppr_ratio { "REPRODUCED" } else { "NOT reproduced on this draw" }
+    );
+}

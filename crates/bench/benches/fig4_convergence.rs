@@ -1,0 +1,67 @@
+//! Fig. 4: convergence efficiency — validation accuracy as a function of
+//! wall-clock training time for SIGMA and the leading baselines.
+
+use sigma::ModelKind;
+use sigma_bench::runner::{default_hyper, prepare, train, OperatorSet};
+use sigma_bench::{BenchConfig, TablePrinter};
+use sigma_datasets::DatasetPreset;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let models = [
+        ModelKind::MixHop,
+        ModelKind::Gcnii,
+        ModelKind::Linkx,
+        ModelKind::GloGnn,
+        ModelKind::Sigma,
+    ];
+    // Two representative large presets keep the default run short; raise
+    // SIGMA_SCALE / SIGMA_EPOCHS for the full sweep.
+    for preset in [DatasetPreset::Penn94, DatasetPreset::Pokec] {
+        let ops = OperatorSet {
+            two_hop: true,
+            ..OperatorSet::default()
+        };
+        let (ctx, split) = prepare(preset, &cfg, ops, 29);
+        let mut table = TablePrinter::new(vec![
+            "model",
+            "time-to-50% (s)",
+            "time-to-best (s)",
+            "best val acc (%)",
+            "epochs",
+        ]);
+        for kind in models {
+            let report = train(kind, &ctx, &split, &cfg, &default_hyper(), 29);
+            let best = report.best_val_accuracy;
+            let time_to_half = report
+                .history
+                .iter()
+                .find(|r| r.val_accuracy >= 0.5)
+                .map(|r| format!("{:.3}", r.elapsed.as_secs_f64()))
+                .unwrap_or_else(|| "-".to_string());
+            let time_to_best = report
+                .history
+                .iter()
+                .find(|r| r.val_accuracy >= best - 1e-6)
+                .map(|r| r.elapsed.as_secs_f64())
+                .unwrap_or_else(|| report.train_time.as_secs_f64());
+            table.add_row(vec![
+                kind.name().to_string(),
+                time_to_half,
+                format!("{time_to_best:.3}"),
+                format!("{:.1}", best * 100.0),
+                report.epochs_run.to_string(),
+            ]);
+            // Print the raw curve (the Fig. 4 series) for plotting.
+            let curve: Vec<String> = report
+                .history
+                .iter()
+                .map(|r| format!("({:.2}s, {:.1}%)", r.elapsed.as_secs_f64(), r.val_accuracy * 100.0))
+                .collect();
+            println!("{:<7} {} curve: {}", kind.name(), preset.stats().name, curve.join(" "));
+        }
+        table.print(&format!("Fig. 4: convergence on {}", preset.stats().name));
+    }
+    println!("paper shape: SIGMA (and the other simple decoupled models) converge quickly;");
+    println!("SIGMA reaches a higher final accuracy than LINKX/MixHop and converges faster than GloGNN.");
+}

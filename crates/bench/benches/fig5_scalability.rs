@@ -1,0 +1,54 @@
+//! Fig. 5: scalability — SIGMA vs GloGNN learning time (and SIGMA's
+//! precomputation time) as the pokec-like base graph is rescaled across edge
+//! counts spaced by factors of 2.5.
+
+use sigma::ModelKind;
+use sigma_bench::runner::{default_hyper, prepare, train, OperatorSet};
+use sigma_bench::{BenchConfig, TablePrinter};
+use sigma_datasets::DatasetPreset;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    // The paper rescales the pokec graph across edge counts spaced by 2.5×
+    // (fixed node set, edges removed/added at random). At the reproduction's
+    // reduced node counts that protocol makes the largest graphs far denser
+    // than the real pokec (average degree grows unboundedly as edges are
+    // added to a small node set), which distorts both methods' costs. We
+    // instead rescale the *preset* — node and edge counts grow together with
+    // the paper's average degree held fixed — so the x-axis still sweeps
+    // edge counts spaced by 2.5× while every graph keeps pokec-like density.
+    let steps = 5usize;
+    let mut table = TablePrinter::new(vec![
+        "edges",
+        "SIGMA pre (s)",
+        "SIGMA learn (s)",
+        "GloGNN learn (s)",
+        "speed-up",
+    ]);
+    let mut speedups = Vec::new();
+    for i in (0..steps).rev() {
+        let scale = cfg.scale * 1.6 / 2.5f64.powi(i as i32);
+        let (ctx, split) = prepare(DatasetPreset::Pokec, &BenchConfig { scale, ..cfg }, OperatorSet::default(), 31);
+        let edges = ctx.dataset().graph.num_edges();
+        let sigma_report = train(ModelKind::Sigma, &ctx, &split, &cfg, &default_hyper(), 31);
+        let glognn_report = train(ModelKind::GloGnn, &ctx, &split, &cfg, &default_hyper(), 31);
+        let sigma_learn = sigma_report.learning_time().as_secs_f64();
+        let glognn_learn = glognn_report.train_time.as_secs_f64();
+        let speedup = glognn_learn / sigma_learn.max(1e-9);
+        speedups.push(speedup);
+        table.add_row(vec![
+            edges.to_string(),
+            format!("{:.3}", sigma_report.precompute_time.as_secs_f64()),
+            format!("{sigma_learn:.3}"),
+            format!("{glognn_learn:.3}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    table.print("Fig. 5: learning time vs graph scale (edge counts spaced by 2.5x)");
+    println!("paper shape: both methods scale roughly linearly in the edge count; SIGMA's");
+    println!("precomputation stays a small fraction of learning time and its speed-up over");
+    println!("GloGNN grows (or at least does not shrink) with the graph size.");
+    if let (Some(first), Some(last)) = (speedups.first(), speedups.last()) {
+        println!("speed-up at smallest scale: {first:.2}x, at largest scale: {last:.2}x");
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig. 6: effect of the approximation error ε and the top-k pruning
+//! parameter on the pokec-like preset — precomputation time and accuracy.
+
+use sigma::ModelKind;
+use sigma_bench::runner::{default_hyper, prepare, train, OperatorSet};
+use sigma_bench::{BenchConfig, TablePrinter};
+use sigma_datasets::DatasetPreset;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let epsilons = [0.01, 0.05, 0.1];
+    let ks = [4usize, 16, 64, 256];
+    let mut table = TablePrinter::new(vec![
+        "epsilon",
+        "top-k",
+        "pre (s)",
+        "operator nnz",
+        "test acc (%)",
+    ]);
+    for &epsilon in &epsilons {
+        for &k in &ks {
+            let ops = OperatorSet {
+                simrank_top_k: Some(k),
+                simrank_epsilon: epsilon,
+                ..OperatorSet::default()
+            };
+            let (ctx, split) = prepare(DatasetPreset::Pokec, &cfg, ops, 37);
+            let report = train(ModelKind::Sigma, &ctx, &split, &cfg, &default_hyper(), 37);
+            table.add_row(vec![
+                format!("{epsilon}"),
+                k.to_string(),
+                format!("{:.3}", ctx.timings().simrank.as_secs_f64()),
+                ctx.simrank().map(|s| s.nnz()).unwrap_or(0).to_string(),
+                format!("{:.1}", report.test_accuracy * 100.0),
+            ]);
+        }
+    }
+    table.print("Fig. 6: effect of epsilon and top-k on pokec");
+    println!("paper shape: epsilon = 0.1 already reaches the accuracy plateau — tightening to");
+    println!("0.01 mostly increases precomputation time; accuracy saturates around k = 32.");
+}

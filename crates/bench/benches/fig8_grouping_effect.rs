@@ -1,0 +1,83 @@
+//! Fig. 8: grouping effect of the output embeddings Z on the small-scale
+//! presets — same-class embedding rows look alike, different classes differ.
+//!
+//! The paper renders Z as an image with nodes reordered by label; here we
+//! report the quantitative counterpart: the ratio between mean inter-class
+//! and mean intra-class embedding distance (higher = stronger grouping), and
+//! a coarse per-class block map of average embedding values.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sigma::{Model, SigmaModel, TrainConfig, Trainer};
+use sigma_bench::runner::{default_hyper, prepare, OperatorSet};
+use sigma_bench::{BenchConfig, TablePrinter};
+use sigma_datasets::DatasetPreset;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let trainer = Trainer::new(TrainConfig {
+        epochs: cfg.epochs,
+        patience: 0,
+        ..TrainConfig::default()
+    });
+    let mut table = TablePrinter::new(vec![
+        "dataset",
+        "intra-class dist",
+        "inter-class dist",
+        "separation ratio",
+    ]);
+    for preset in DatasetPreset::SMALL {
+        let (ctx, split) = prepare(preset, &cfg, OperatorSet::default(), 59);
+        let hyper = default_hyper().with_dropout(0.0);
+        let mut rng = StdRng::seed_from_u64(59);
+        let mut model = SigmaModel::new(&ctx, &hyper, &mut rng).expect("SIGMA builds");
+        let _ = trainer
+            .train(&mut model as &mut dyn Model, &ctx, &split, 59)
+            .expect("SIGMA trains");
+        let z = model.forward(&ctx, false, &mut rng).expect("forward");
+
+        let labels = ctx.labels();
+        let n = ctx.num_nodes();
+        let (mut intra, mut inter) = (Vec::new(), Vec::new());
+        // Subsample pairs for the distance statistics.
+        for u in (0..n).step_by(3) {
+            for v in (1..n).step_by(7) {
+                if u == v {
+                    continue;
+                }
+                let d = z.row_distance(u, v) as f64;
+                if labels[u] == labels[v] {
+                    intra.push(d);
+                } else {
+                    inter.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let (mi, me) = (mean(&intra), mean(&inter));
+        table.add_row(vec![
+            preset.stats().name.to_string(),
+            format!("{mi:.3}"),
+            format!("{me:.3}"),
+            format!("{:.2}x", me / mi.max(1e-9)),
+        ]);
+
+        // Block map: average logit per (class, output dimension) — the text
+        // analogue of Fig. 8's rectangular patterns.
+        let classes = ctx.num_classes();
+        println!("\nFig. 8 block map for {} (rows = true class, cols = logit dim):", preset.stats().name);
+        for c in 0..classes {
+            let members: Vec<usize> = (0..n).filter(|&v| labels[v] == c).collect();
+            let mut row = format!("  class {c}: ");
+            for j in 0..z.cols() {
+                let avg: f32 =
+                    members.iter().map(|&v| z.get(v, j)).sum::<f32>() / members.len().max(1) as f32;
+                row.push_str(&format!("{avg:>7.2}"));
+            }
+            println!("{row}");
+        }
+    }
+    table.print("Fig. 8: grouping effect of SIGMA embeddings (inter/intra distance ratio > 1)");
+    println!("paper shape: same-class nodes share embedding patterns (diagonal blocks in the");
+    println!("block map are the largest entries of their row), giving clear class separation.");
+}

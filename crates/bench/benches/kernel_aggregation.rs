@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the aggregation kernels.
+//!
+//! Compares the per-epoch cost of:
+//! * SIGMA's aggregation: one SpMM with the constant top-k SimRank operator,
+//! * GloGNN-style aggregation: `k₂ · l_norm` SpMMs with Â, recomputed per epoch,
+//! * a dense (`n×n`) aggregation, the cost the top-k scheme avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigma_datasets::DatasetPreset;
+use sigma_graph::sym_normalized_adjacency;
+use sigma_matrix::DenseMatrix;
+use sigma_simrank::{LocalPush, SimRankConfig};
+
+fn aggregation_benchmarks(c: &mut Criterion) {
+    let data = DatasetPreset::Penn94.build(0.6, 3).expect("preset");
+    let n = data.num_nodes();
+    let hidden = 32usize;
+    let h = DenseMatrix::from_fn(n, hidden, |i, j| ((i * 31 + j * 7) % 13) as f32 * 0.1 - 0.6);
+
+    let simrank = LocalPush::new(&data.graph, SimRankConfig::default().with_top_k(16))
+        .expect("localpush")
+        .run_to_operator();
+    let a_hat = sym_normalized_adjacency(&data.graph);
+    let dense_s = simrank.to_dense();
+
+    let mut group = c.benchmark_group("aggregation_kernels");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("sigma_topk_spmm", n), &n, |b, _| {
+        b.iter(|| simrank.spmm(&h).expect("spmm"))
+    });
+    group.bench_with_input(BenchmarkId::new("glognn_multihop_per_epoch", n), &n, |b, _| {
+        b.iter(|| {
+            // k2 = 3 hops, l_norm = 2 rounds, recomputed every epoch.
+            let mut z = h.clone();
+            for _ in 0..2 {
+                let mut acc = DenseMatrix::zeros(n, hidden);
+                let mut current = z.clone();
+                for k in 1..=3 {
+                    current = a_hat.spmm(&current).expect("spmm");
+                    acc.add_scaled(0.7f32.powi(k), &current).expect("acc");
+                }
+                z = acc;
+            }
+            z
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("dense_full_matrix", n), &n, |b, _| {
+        b.iter(|| dense_s.matmul(&h).expect("matmul"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, aggregation_benchmarks);
+criterion_main!(benches);

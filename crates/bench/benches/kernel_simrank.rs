@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the similarity precomputation kernels:
+//! exact SimRank vs LocalPush at two error thresholds, and top-k PPR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigma_datasets::DatasetPreset;
+use sigma_simrank::{exact_simrank, topk_ppr_matrix, LocalPush, PprConfig, SimRankConfig};
+
+fn simrank_benchmarks(c: &mut Criterion) {
+    let data = DatasetPreset::Texas.build(1.0, 9).expect("preset");
+    let graph = data.graph.clone();
+
+    let mut group = c.benchmark_group("simrank_precompute");
+    group.sample_size(10);
+    group.bench_function("exact_fixed_point", |b| {
+        b.iter(|| exact_simrank(&graph, &SimRankConfig::default()).expect("exact"))
+    });
+    group.bench_function("localpush_eps_0.1", |b| {
+        b.iter(|| {
+            LocalPush::new(&graph, SimRankConfig::new(0.6, 0.1, Some(16)).unwrap())
+                .expect("localpush")
+                .run_to_operator()
+        })
+    });
+    group.bench_function("localpush_eps_0.01", |b| {
+        b.iter(|| {
+            LocalPush::new(&graph, SimRankConfig::new(0.6, 0.01, Some(16)).unwrap())
+                .expect("localpush")
+                .run_to_operator()
+        })
+    });
+    group.bench_function("topk_ppr", |b| {
+        b.iter(|| {
+            topk_ppr_matrix(
+                &graph,
+                &PprConfig {
+                    top_k: Some(16),
+                    ..PprConfig::default()
+                },
+            )
+            .expect("ppr")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simrank_benchmarks);
+criterion_main!(benches);

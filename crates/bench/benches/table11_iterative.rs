@@ -1,0 +1,45 @@
+//! Table XI: the iterative SIGMA variant versus GCN at propagation depths
+//! 1–3 on the large-scale presets.
+
+use sigma::ModelKind;
+use sigma_bench::runner::{default_hyper, prepare, train, OperatorSet};
+use sigma_bench::{BenchConfig, TablePrinter};
+use sigma_datasets::DatasetPreset;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let depths = [1usize, 2, 3];
+    let mut header = vec!["model".to_string()];
+    header.extend(DatasetPreset::LARGE.iter().map(|p| p.stats().name.to_string()));
+    let mut table = TablePrinter::new(header);
+
+    let prepared: Vec<_> = DatasetPreset::LARGE
+        .iter()
+        .map(|&p| prepare(p, &cfg, OperatorSet::default(), 61))
+        .collect();
+
+    let mut sigma_wins = 0usize;
+    let mut comparisons = 0usize;
+    for &depth in &depths {
+        let mut gcn_row = vec![format!("GCN-{depth}")];
+        let mut sigma_row = vec![format!("SIGMA-{depth}")];
+        for (ctx, split) in &prepared {
+            let gcn = train(ModelKind::Gcn(depth), ctx, split, &cfg, &default_hyper(), 61);
+            let sig = train(ModelKind::SigmaIterative(depth), ctx, split, &cfg, &default_hyper(), 61);
+            gcn_row.push(format!("{:.1}", gcn.test_accuracy * 100.0));
+            sigma_row.push(format!("{:.1}", sig.test_accuracy * 100.0));
+            comparisons += 1;
+            if sig.test_accuracy >= gcn.test_accuracy {
+                sigma_wins += 1;
+            }
+        }
+        table.add_row(gcn_row);
+        table.add_row(sigma_row);
+    }
+    table.print("Table XI: iterative SIGMA vs GCN at depths 1-3 (test accuracy %)");
+    println!(
+        "SIGMA-L matches or beats GCN-L in {sigma_wins}/{comparisons} (dataset, depth) pairs."
+    );
+    println!("paper shape: replacing the adjacency with the SimRank operator (plus the X_S");
+    println!("embedding) lifts accuracy substantially on every heterophilous dataset.");
+}

@@ -1,0 +1,49 @@
+//! Table III: time-complexity comparison of heterophilous GNN aggregations,
+//! evaluated as concrete operation counts on each large-scale dataset's
+//! *paper* statistics.
+
+use sigma::complexity::{table3_rows, CostParams};
+use sigma_bench::TablePrinter;
+use sigma_datasets::DatasetPreset;
+
+fn human(x: f64) -> String {
+    if x >= 1e12 {
+        format!("{:.1}T", x / 1e12)
+    } else if x >= 1e9 {
+        format!("{:.1}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+fn main() {
+    println!("Table III — aggregation / inference operation counts (f = 64, L = 2, k = 32)");
+    for preset in DatasetPreset::LARGE {
+        let stats = preset.stats();
+        let params = CostParams::typical(stats.paper_nodes, stats.paper_edges, 64);
+        let rows = table3_rows(&params);
+        let sigma_agg = rows
+            .iter()
+            .find(|r| r.model == "SIGMA")
+            .map(|r| r.aggregation)
+            .unwrap_or(1.0);
+        let mut table = TablePrinter::new(vec!["model", "aggregation", "inference", "agg vs SIGMA"]);
+        for row in &rows {
+            table.add_row(vec![
+                row.model.to_string(),
+                human(row.aggregation),
+                human(row.inference),
+                format!("{:.1}x", row.aggregation / sigma_agg),
+            ]);
+        }
+        table.print(&format!(
+            "{} (n = {}, m = {})",
+            stats.name, stats.paper_nodes, stats.paper_edges
+        ));
+    }
+    println!("paper shape: SIGMA's aggregation is O(k·n·f), the only entry independent of m;");
+    println!("every baseline grows at least linearly with the edge count or quadratically with n,");
+    println!("so SIGMA's advantage widens with the average degree (largest on pokec/twitch).");
+}

@@ -1,0 +1,47 @@
+//! Table IX: sensitivity of the feature factor δ on Penn94-, Arxiv- and
+//! Pokec-like presets.
+
+use sigma::ModelKind;
+use sigma_bench::runner::{default_hyper, prepare, train, OperatorSet};
+use sigma_bench::{BenchConfig, TablePrinter};
+use sigma_datasets::DatasetPreset;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let deltas = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let presets = [DatasetPreset::Penn94, DatasetPreset::ArxivYear, DatasetPreset::Pokec];
+    let mut header = vec!["delta".to_string()];
+    header.extend(presets.iter().map(|p| p.stats().name.to_string()));
+    let mut table = TablePrinter::new(header);
+
+    // Prepare contexts once per preset, sweep δ inside.
+    let prepared: Vec<_> = presets
+        .iter()
+        .map(|&p| prepare(p, &cfg, OperatorSet::default(), 47))
+        .collect();
+    let mut best_delta: Vec<(f64, f64)> = vec![(0.0, f64::MIN); presets.len()];
+    for &delta in &deltas {
+        let mut row = vec![format!("{delta:.1}")];
+        for (i, (ctx, split)) in prepared.iter().enumerate() {
+            let hyper = default_hyper().with_delta(delta);
+            let report = train(ModelKind::Sigma, ctx, split, &cfg, &hyper, 47);
+            let acc = report.test_accuracy as f64 * 100.0;
+            if acc > best_delta[i].1 {
+                best_delta[i] = (delta, acc);
+            }
+            row.push(format!("{acc:.2}"));
+        }
+        table.add_row(row);
+    }
+    table.print("Table IX: SIGMA test accuracy (%) across delta values");
+    for (i, preset) in presets.iter().enumerate() {
+        println!(
+            "{}: best delta = {:.1} ({:.2}%)",
+            preset.stats().name,
+            best_delta[i].0,
+            best_delta[i].1
+        );
+    }
+    println!("paper shape: different datasets prefer different delta values (Penn94 leans on the");
+    println!("adjacency embedding, pokec on node features), and accuracy varies only mildly across delta.");
+}

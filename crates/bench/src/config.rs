@@ -1,0 +1,94 @@
+//! Environment-driven configuration for bench targets.
+//!
+//! Defaults are sized so the whole `cargo bench` suite finishes quickly on a
+//! single core; set `SIGMA_SCALE`, `SIGMA_EPOCHS`, `SIGMA_REPEATS` to enlarge
+//! runs toward the paper's full settings.
+
+/// Runtime knobs shared by every bench target.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Multiplier applied to dataset preset sizes (1.0 = preset default).
+    pub scale: f64,
+    /// Training epochs per run.
+    pub epochs: usize,
+    /// Number of repeated runs (different seeds) per configuration.
+    pub repeats: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        // Sized so the full `cargo bench` suite completes in tens of minutes
+        // on a single core; the paper's settings (500 epochs, 5–10 repeats,
+        // full-size graphs) are reachable via the SIGMA_* environment knobs.
+        Self {
+            scale: 1.0,
+            epochs: 40,
+            repeats: 1,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Reads configuration from `SIGMA_SCALE`, `SIGMA_EPOCHS` and
+    /// `SIGMA_REPEATS`, falling back to defaults for unset or unparsable
+    /// values.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(v) = read_env_f64("SIGMA_SCALE") {
+            if v > 0.0 {
+                cfg.scale = v;
+            }
+        }
+        if let Some(v) = read_env_usize("SIGMA_EPOCHS") {
+            if v > 0 {
+                cfg.epochs = v;
+            }
+        }
+        if let Some(v) = read_env_usize("SIGMA_REPEATS") {
+            if v > 0 {
+                cfg.repeats = v;
+            }
+        }
+        cfg
+    }
+}
+
+fn read_env_f64(key: &str) -> Option<f64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+fn read_env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let cfg = BenchConfig::default();
+        assert!(cfg.scale > 0.0);
+        assert!(cfg.epochs > 0);
+        assert!(cfg.repeats > 0);
+    }
+
+    #[test]
+    fn from_env_ignores_garbage() {
+        std::env::set_var("SIGMA_SCALE", "not-a-number");
+        std::env::set_var("SIGMA_EPOCHS", "-3");
+        let cfg = BenchConfig::from_env();
+        assert_eq!(cfg.scale, BenchConfig::default().scale);
+        assert_eq!(cfg.epochs, BenchConfig::default().epochs);
+        std::env::remove_var("SIGMA_SCALE");
+        std::env::remove_var("SIGMA_EPOCHS");
+    }
+
+    #[test]
+    fn from_env_reads_valid_values() {
+        std::env::set_var("SIGMA_REPEATS", "7");
+        let cfg = BenchConfig::from_env();
+        assert_eq!(cfg.repeats, 7);
+        std::env::remove_var("SIGMA_REPEATS");
+    }
+}

@@ -1,0 +1,13 @@
+//! # sigma-bench
+//!
+//! Benchmark harness for the SIGMA reproduction. The library portion holds
+//! shared helpers (environment-variable configuration, table formatting);
+//! each bench target under `benches/` regenerates one table or figure of the
+//! paper. See `EXPERIMENTS.md` at the repository root for the mapping.
+
+pub mod config;
+pub mod runner;
+pub mod table;
+
+pub use config::BenchConfig;
+pub use table::TablePrinter;

@@ -1,0 +1,161 @@
+//! Shared experiment-running helpers used by every bench target.
+
+use crate::BenchConfig;
+use sigma::{
+    ContextBuilder, GraphContext, ModelHyperParams, ModelKind, TrainConfig, TrainReport, Trainer,
+};
+use sigma_datasets::{Dataset, DatasetPreset, Split};
+use sigma_simrank::{PprConfig, SimRankConfig};
+
+/// Which optional operators a bench needs in its [`GraphContext`].
+#[derive(Debug, Clone, Copy)]
+pub struct OperatorSet {
+    /// Top-k for the SimRank operator (`None` skips SimRank).
+    pub simrank_top_k: Option<usize>,
+    /// SimRank approximation error threshold ε.
+    pub simrank_epsilon: f64,
+    /// Whether to precompute the PPR operator.
+    pub ppr: bool,
+    /// Whether to precompute the 2-hop operator.
+    pub two_hop: bool,
+}
+
+impl Default for OperatorSet {
+    fn default() -> Self {
+        Self {
+            simrank_top_k: Some(16),
+            simrank_epsilon: 0.1,
+            ppr: false,
+            two_hop: false,
+        }
+    }
+}
+
+impl OperatorSet {
+    /// Everything enabled — used by the Table V / Table VIII sweeps.
+    pub fn full() -> Self {
+        Self {
+            simrank_top_k: Some(16),
+            simrank_epsilon: 0.1,
+            ppr: true,
+            two_hop: true,
+        }
+    }
+}
+
+/// Builds a dataset for `preset` at the bench scale, together with its
+/// default split and a context holding the requested operators.
+pub fn prepare(
+    preset: DatasetPreset,
+    cfg: &BenchConfig,
+    ops: OperatorSet,
+    seed: u64,
+) -> (GraphContext, Split) {
+    let data = preset
+        .build(cfg.scale, seed)
+        .expect("preset generation cannot fail for valid scales");
+    prepare_dataset(data, ops, seed)
+}
+
+/// Builds the context and split for an already-generated dataset.
+pub fn prepare_dataset(data: Dataset, ops: OperatorSet, seed: u64) -> (GraphContext, Split) {
+    let split = data.default_split(seed).expect("non-empty dataset");
+    let mut builder = ContextBuilder::new(data);
+    if let Some(k) = ops.simrank_top_k {
+        let cfg = SimRankConfig::new(0.6, ops.simrank_epsilon, Some(k))
+            .expect("valid SimRank configuration");
+        builder = builder.with_simrank(cfg);
+    }
+    if ops.ppr {
+        builder = builder.with_ppr(PprConfig {
+            top_k: ops.simrank_top_k.or(Some(16)),
+            ..PprConfig::default()
+        });
+    }
+    if ops.two_hop {
+        builder = builder.with_two_hop();
+    }
+    let ctx = builder.build().expect("precomputation succeeds");
+    (ctx, split)
+}
+
+/// Trains one model kind with the bench's epoch budget and returns the report.
+pub fn train(
+    kind: ModelKind,
+    ctx: &GraphContext,
+    split: &Split,
+    cfg: &BenchConfig,
+    hyper: &ModelHyperParams,
+    seed: u64,
+) -> TrainReport {
+    let trainer = Trainer::new(TrainConfig {
+        epochs: cfg.epochs,
+        patience: (cfg.epochs / 3).max(10),
+        ..TrainConfig::default()
+    });
+    let mut model = kind
+        .build(ctx, hyper, seed)
+        .unwrap_or_else(|e| panic!("failed to build {}: {e}", kind.name()));
+    trainer
+        .train(model.as_mut(), ctx, split, seed)
+        .unwrap_or_else(|e| panic!("failed to train {}: {e}", kind.name()))
+}
+
+/// Trains one model kind over several seeds, returning (mean, std) of test
+/// accuracy in percent and the mean learning time in seconds.
+pub fn repeated_accuracy(
+    kind: ModelKind,
+    ctx: &GraphContext,
+    split: &Split,
+    cfg: &BenchConfig,
+    hyper: &ModelHyperParams,
+) -> (f64, f64, f64) {
+    let mut accs = Vec::with_capacity(cfg.repeats);
+    let mut times = Vec::with_capacity(cfg.repeats);
+    for seed in 0..cfg.repeats as u64 {
+        let report = train(kind, ctx, split, cfg, hyper, seed);
+        accs.push(report.test_accuracy as f64 * 100.0);
+        times.push(report.learning_time().as_secs_f64());
+    }
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    let var = accs.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / accs.len() as f64;
+    let mean_time = times.iter().sum::<f64>() / times.len() as f64;
+    (mean, var.sqrt(), mean_time)
+}
+
+/// The default hyper-parameters used across the benchmark suite (small enough
+/// for the reduced datasets, matching the paper's "small" settings).
+pub fn default_hyper() -> ModelHyperParams {
+    ModelHyperParams::small()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_and_train_smoke() {
+        let cfg = BenchConfig {
+            scale: 0.3,
+            epochs: 3,
+            repeats: 1,
+        };
+        let (ctx, split) = prepare(DatasetPreset::Texas, &cfg, OperatorSet::default(), 0);
+        assert!(ctx.simrank().is_some());
+        let report = train(ModelKind::Sigma, &ctx, &split, &cfg, &default_hyper(), 0);
+        assert!(report.final_train_loss.is_finite());
+        let (mean, std, time) =
+            repeated_accuracy(ModelKind::Mlp, &ctx, &split, &cfg, &default_hyper());
+        assert!((0.0..=100.0).contains(&mean));
+        assert!(std >= 0.0);
+        assert!(time >= 0.0);
+    }
+
+    #[test]
+    fn operator_sets() {
+        let full = OperatorSet::full();
+        assert!(full.ppr && full.two_hop);
+        let default = OperatorSet::default();
+        assert!(!default.ppr && !default.two_hop);
+    }
+}

@@ -1,0 +1,173 @@
+//! Analytic complexity model behind the paper's Table III.
+//!
+//! Table III compares the asymptotic aggregation and inference cost of
+//! heterophilous GNNs. This module evaluates those formulas on concrete
+//! graph sizes so the `table3_complexity` bench can print comparable
+//! operation counts (and so tests can check the orderings the paper claims —
+//! e.g. SIGMA's aggregation is the only one independent of the edge count).
+
+/// Parameters of the cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Number of nodes `n`.
+    pub nodes: f64,
+    /// Number of edges `m`.
+    pub edges: f64,
+    /// Hidden feature dimensionality `f`.
+    pub features: f64,
+    /// Number of layers `L`.
+    pub layers: f64,
+    /// SIGMA's top-k.
+    pub top_k: f64,
+    /// U-GCN's k₁ nearest neighbours.
+    pub k1: f64,
+    /// GloGNN's k₂ hop order.
+    pub k2: f64,
+    /// GloGNN's number of normalisation layers `l_norm`.
+    pub l_norm: f64,
+    /// WR-GAT's number of relations `|R|`.
+    pub relations: f64,
+}
+
+impl CostParams {
+    /// Builds parameters from graph sizes with the paper's typical constants
+    /// (`L = 2`, `k = 32`, `k₁ = 5`, `k₂ = 3`, `l_norm = 2`, `|R| = 4`).
+    pub fn typical(nodes: usize, edges: usize, features: usize) -> Self {
+        Self {
+            nodes: nodes as f64,
+            edges: edges as f64,
+            features: features as f64,
+            layers: 2.0,
+            top_k: 32.0,
+            k1: 5.0,
+            k2: 3.0,
+            l_norm: 2.0,
+            relations: 4.0,
+        }
+    }
+}
+
+/// One row of Table III: a model with its aggregation and inference cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostRow {
+    /// Model name.
+    pub model: &'static str,
+    /// Aggregation cost (operation count).
+    pub aggregation: f64,
+    /// Inference cost (operation count).
+    pub inference: f64,
+}
+
+/// Evaluates every row of Table III for the given parameters.
+pub fn table3_rows(p: &CostParams) -> Vec<CostRow> {
+    let CostParams {
+        nodes: n,
+        edges: m,
+        features: f,
+        layers: l,
+        top_k: k,
+        k1,
+        k2,
+        l_norm,
+        relations: r,
+    } = *p;
+    vec![
+        CostRow {
+            model: "Geom-GCN",
+            aggregation: n * n * f + m * f,
+            inference: l * n * n * f + l * m * f + n * f * f,
+        },
+        CostRow {
+            model: "GPNN",
+            aggregation: n * n * f * f + n * f,
+            inference: n * n * f * f + l * m * f + n * f * f,
+        },
+        CostRow {
+            model: "U-GCN",
+            aggregation: (m / n).max(1.0) * m * f + n * n * f + k1 * n * f,
+            inference: (m / n).max(1.0) * m * f + n * n * f + k1 * n * f + n * f * f,
+        },
+        CostRow {
+            model: "WR-GAT",
+            aggregation: l * m * f + l * r * n * n * f + n * f * f,
+            inference: l * r * n * n * f + m * f + l * n * f * f,
+        },
+        CostRow {
+            model: "GloGNN",
+            aggregation: k2 * m * f * l_norm,
+            inference: l * k2 * m * f * l_norm + m * f + l * n * f * f,
+        },
+        CostRow {
+            model: "SIGMA",
+            aggregation: k * n * f,
+            inference: k * n * f + m * f + n * f * f,
+        },
+    ]
+}
+
+/// Returns the Table III row for a single model name, if present.
+pub fn row_for(p: &CostParams, model: &str) -> Option<CostRow> {
+    table3_rows(p).into_iter().find(|r| r.model == model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pokec_like() -> CostParams {
+        CostParams::typical(1_632_803, 30_622_564, 64)
+    }
+
+    #[test]
+    fn sigma_has_the_cheapest_aggregation() {
+        let rows = table3_rows(&pokec_like());
+        let sigma = rows.iter().find(|r| r.model == "SIGMA").unwrap();
+        for row in &rows {
+            if row.model != "SIGMA" {
+                assert!(
+                    sigma.aggregation < row.aggregation,
+                    "SIGMA should beat {} ({} vs {})",
+                    row.model,
+                    sigma.aggregation,
+                    row.aggregation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_aggregation_is_independent_of_edge_count() {
+        let sparse = CostParams::typical(100_000, 200_000, 64);
+        let dense = CostParams::typical(100_000, 20_000_000, 64);
+        let a = row_for(&sparse, "SIGMA").unwrap().aggregation;
+        let b = row_for(&dense, "SIGMA").unwrap().aggregation;
+        assert_eq!(a, b);
+        // GloGNN, by contrast, scales with the edge count.
+        let ga = row_for(&sparse, "GloGNN").unwrap().aggregation;
+        let gb = row_for(&dense, "GloGNN").unwrap().aggregation;
+        assert!(gb > ga * 50.0);
+    }
+
+    #[test]
+    fn quadratic_models_dominate_on_large_graphs() {
+        let rows = table3_rows(&pokec_like());
+        let geom = rows.iter().find(|r| r.model == "Geom-GCN").unwrap();
+        let glognn = rows.iter().find(|r| r.model == "GloGNN").unwrap();
+        assert!(geom.aggregation > glognn.aggregation);
+    }
+
+    #[test]
+    fn inference_includes_aggregation_for_sigma() {
+        let p = pokec_like();
+        let sigma = row_for(&p, "SIGMA").unwrap();
+        assert!(sigma.inference > sigma.aggregation);
+    }
+
+    #[test]
+    fn row_lookup() {
+        let p = pokec_like();
+        assert!(row_for(&p, "SIGMA").is_some());
+        assert!(row_for(&p, "NotAModel").is_none());
+        assert_eq!(table3_rows(&p).len(), 6);
+    }
+}

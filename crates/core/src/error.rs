@@ -1,0 +1,114 @@
+use std::fmt;
+
+/// Errors produced by model construction, training and precomputation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SigmaError {
+    /// A required precomputed operator is missing from the [`crate::GraphContext`].
+    MissingOperator {
+        /// Name of the operator (e.g. "simrank", "ppr").
+        operator: &'static str,
+        /// Model that requested it.
+        model: &'static str,
+    },
+    /// A hyper-parameter is outside its valid range.
+    InvalidHyperParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An underlying neural-network operation failed.
+    Nn(sigma_nn::NnError),
+    /// An underlying matrix operation failed.
+    Matrix(sigma_matrix::MatrixError),
+    /// An underlying graph operation failed.
+    Graph(sigma_graph::GraphError),
+    /// An underlying similarity computation failed.
+    SimRank(sigma_simrank::SimRankError),
+    /// An underlying dataset operation failed.
+    Dataset(sigma_datasets::DatasetError),
+}
+
+impl fmt::Display for SigmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigmaError::MissingOperator { operator, model } => {
+                write!(f, "model `{model}` requires the `{operator}` operator; enable it on ContextBuilder")
+            }
+            SigmaError::InvalidHyperParameter { name, reason } => {
+                write!(f, "invalid hyper-parameter `{name}`: {reason}")
+            }
+            SigmaError::Nn(e) => write!(f, "nn error: {e}"),
+            SigmaError::Matrix(e) => write!(f, "matrix error: {e}"),
+            SigmaError::Graph(e) => write!(f, "graph error: {e}"),
+            SigmaError::SimRank(e) => write!(f, "similarity error: {e}"),
+            SigmaError::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SigmaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SigmaError::Nn(e) => Some(e),
+            SigmaError::Matrix(e) => Some(e),
+            SigmaError::Graph(e) => Some(e),
+            SigmaError::SimRank(e) => Some(e),
+            SigmaError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sigma_nn::NnError> for SigmaError {
+    fn from(e: sigma_nn::NnError) -> Self {
+        SigmaError::Nn(e)
+    }
+}
+
+impl From<sigma_matrix::MatrixError> for SigmaError {
+    fn from(e: sigma_matrix::MatrixError) -> Self {
+        SigmaError::Matrix(e)
+    }
+}
+
+impl From<sigma_graph::GraphError> for SigmaError {
+    fn from(e: sigma_graph::GraphError) -> Self {
+        SigmaError::Graph(e)
+    }
+}
+
+impl From<sigma_simrank::SimRankError> for SigmaError {
+    fn from(e: sigma_simrank::SimRankError) -> Self {
+        SigmaError::SimRank(e)
+    }
+}
+
+impl From<sigma_datasets::DatasetError> for SigmaError {
+    fn from(e: sigma_datasets::DatasetError) -> Self {
+        SigmaError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = SigmaError::MissingOperator { operator: "simrank", model: "SIGMA" };
+        assert!(e.to_string().contains("simrank"));
+        let e = SigmaError::InvalidHyperParameter { name: "alpha", reason: "must be in [0,1]".into() };
+        assert!(e.to_string().contains("alpha"));
+        let e: SigmaError = sigma_nn::NnError::MissingForwardCache { layer: "x" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: SigmaError = sigma_matrix::MatrixError::NonFiniteValue { op: "x" }.into();
+        assert!(matches!(e, SigmaError::Matrix(_)));
+        let e: SigmaError = sigma_graph::GraphError::EmptyGraph.into();
+        assert!(matches!(e, SigmaError::Graph(_)));
+        let e: SigmaError = sigma_simrank::SimRankError::InvalidConfig { name: "c", value: 2.0 }.into();
+        assert!(matches!(e, SigmaError::SimRank(_)));
+        let e: SigmaError = sigma_datasets::DatasetError::InvalidSplit { reason: "x".into() }.into();
+        assert!(matches!(e, SigmaError::Dataset(_)));
+    }
+}

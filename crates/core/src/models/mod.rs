@@ -1,0 +1,123 @@
+//! Model implementations: SIGMA, its iterative variant, and every baseline
+//! compared in the paper's evaluation.
+//!
+//! Each module implements [`crate::Model`] with explicit forward/backward
+//! passes. Propagation operators (`Â`, `S`, `Π_ppr`, ...) are constants from
+//! the [`crate::GraphContext`], so backpropagation through them is a
+//! transposed SpMM; only the MLP weights (and, for GPR-GNN / learnable-α
+//! SIGMA, a small coefficient vector) are trainable.
+
+pub mod acmgcn;
+pub mod appnp;
+pub mod gat;
+pub mod gcn;
+pub mod gcnii;
+pub mod glognn;
+pub mod gprgnn;
+pub mod h2gcn;
+pub mod linkx;
+pub mod mixhop;
+pub mod mlp;
+pub mod pprgo;
+pub mod sgc;
+pub mod sigma_iterative;
+pub mod sigma_model;
+
+use crate::Result;
+use sigma_matrix::{CsrMatrix, DenseMatrix};
+use std::time::{Duration, Instant};
+
+/// Applies `operator · dense`, accumulating elapsed wall-clock time into
+/// `timer`. All models route their propagation SpMMs through this helper so
+/// the trainer can report the Table VII "AGG" column.
+pub(crate) fn timed_spmm(
+    operator: &CsrMatrix,
+    dense: &DenseMatrix,
+    timer: &mut Duration,
+) -> Result<DenseMatrix> {
+    let start = Instant::now();
+    let out = operator.spmm(dense)?;
+    *timer += start.elapsed();
+    Ok(out)
+}
+
+/// Applies `operatorᵀ · dense`, accumulating elapsed time into `timer`.
+pub(crate) fn timed_spmm_transpose(
+    operator: &CsrMatrix,
+    dense: &DenseMatrix,
+    timer: &mut Duration,
+) -> Result<DenseMatrix> {
+    let start = Instant::now();
+    let out = operator.spmm_transpose(dense)?;
+    *timer += start.elapsed();
+    Ok(out)
+}
+
+/// Extracts a contiguous block of columns `[start, start + width)` as a new
+/// matrix (used by concatenating models such as MixHop and H2GCN to split the
+/// gradient of a concatenation).
+pub(crate) fn slice_columns(matrix: &DenseMatrix, start: usize, width: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(matrix.rows(), width, |i, j| matrix.get(i, start + j))
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for model unit tests.
+
+    use crate::{ContextBuilder, GraphContext};
+    use sigma_datasets::{generate, GeneratorConfig, Split};
+    use sigma_simrank::PprConfig;
+
+    /// A small heterophilous dataset with every optional operator enabled.
+    pub fn small_context() -> GraphContext {
+        let cfg = GeneratorConfig::new(80, 6.0, 3, 10)
+            .with_homophily(0.2)
+            .with_feature_snr(1.5, 0.8)
+            .with_name("test-hetero");
+        let data = generate(&cfg, 7).unwrap();
+        ContextBuilder::new(data)
+            .with_simrank_topk(8)
+            .with_ppr(PprConfig {
+                top_k: Some(8),
+                ..PprConfig::default()
+            })
+            .with_two_hop()
+            .build()
+            .unwrap()
+    }
+
+    /// A 60/20/20 split over the test context.
+    pub fn split_for(ctx: &GraphContext) -> Split {
+        Split::stratified(ctx.labels(), 0.6, 0.2, 3).unwrap()
+    }
+
+    /// Trains `model` for `epochs` full-batch Adam steps and returns
+    /// (initial train accuracy, final train accuracy).
+    pub fn train_briefly(
+        model: &mut dyn crate::Model,
+        ctx: &GraphContext,
+        split: &Split,
+        epochs: usize,
+    ) -> (f32, f32) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sigma_nn::{accuracy, softmax_cross_entropy_masked, Adam, Optimizer};
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = model.forward(ctx, false, &mut rng).unwrap();
+        let initial = accuracy(&logits, ctx.labels(), &split.train).unwrap();
+        let mut opt = Adam::new(0.03);
+        for _ in 0..epochs {
+            opt.begin_step();
+            let logits = model.forward(ctx, true, &mut rng).unwrap();
+            let (_, grad) =
+                softmax_cross_entropy_masked(&logits, ctx.labels(), &split.train).unwrap();
+            model.zero_grad();
+            model.backward(ctx, &grad).unwrap();
+            model.apply_gradients(&mut opt).unwrap();
+        }
+        let logits = model.forward(ctx, false, &mut rng).unwrap();
+        let final_acc = accuracy(&logits, ctx.labels(), &split.train).unwrap();
+        (initial, final_acc)
+    }
+}

@@ -1,0 +1,276 @@
+//! Full-batch training loop with early stopping, accuracy tracking and the
+//! precompute / aggregation / learning time breakdown of the paper's
+//! Table VII.
+
+use crate::{GraphContext, Model, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sigma_datasets::Split;
+use sigma_nn::{accuracy, softmax_cross_entropy_masked, Adam, Optimizer};
+use std::time::{Duration, Instant};
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Early-stopping patience in epochs (0 disables early stopping).
+    pub patience: usize,
+    /// Record a history entry every `record_every` epochs (for Fig. 4).
+    pub record_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            learning_rate: 0.01,
+            weight_decay: 5e-4,
+            patience: 50,
+            record_every: 5,
+        }
+    }
+}
+
+/// A point on the convergence curve (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index (1-based).
+    pub epoch: usize,
+    /// Wall-clock training time elapsed when the record was taken.
+    pub elapsed: Duration,
+    /// Training loss.
+    pub train_loss: f32,
+    /// Validation accuracy.
+    pub val_accuracy: f32,
+}
+
+/// Result of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Model name.
+    pub model: String,
+    /// Best validation accuracy observed.
+    pub best_val_accuracy: f32,
+    /// Test accuracy at the best-validation epoch.
+    pub test_accuracy: f32,
+    /// Final training loss.
+    pub final_train_loss: f32,
+    /// Number of epochs actually run (may be fewer with early stopping).
+    pub epochs_run: usize,
+    /// Wall-clock training time (excludes context precomputation).
+    pub train_time: Duration,
+    /// Wall-clock time spent in aggregation SpMMs (part of `train_time`).
+    pub aggregation_time: Duration,
+    /// Precomputation time carried over from the [`GraphContext`].
+    pub precompute_time: Duration,
+    /// Convergence history (Fig. 4).
+    pub history: Vec<EpochRecord>,
+}
+
+impl TrainReport {
+    /// Total learning time as defined in Table VII: precomputation plus
+    /// training.
+    pub fn learning_time(&self) -> Duration {
+        self.precompute_time + self.train_time
+    }
+}
+
+/// Full-batch trainer.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// Trains `model` on the context and split, evaluating on the validation
+    /// set every epoch and reporting test accuracy at the best-validation
+    /// checkpoint (the protocol used by the paper).
+    pub fn train(
+        &self,
+        model: &mut dyn Model,
+        ctx: &GraphContext,
+        split: &Split,
+        seed: u64,
+    ) -> Result<TrainReport> {
+        if self.config.epochs == 0 {
+            return Err(crate::SigmaError::InvalidHyperParameter {
+                name: "epochs",
+                reason: "training requires at least one epoch".to_string(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut optimizer = Adam::new(self.config.learning_rate)
+            .with_weight_decay(self.config.weight_decay);
+        let labels = ctx.labels();
+
+        let mut best_val = f32::NEG_INFINITY;
+        let mut test_at_best = 0.0f32;
+        let mut epochs_without_improvement = 0usize;
+        let mut final_loss = f32::NAN;
+        let mut history = Vec::new();
+        let mut aggregation_time = Duration::ZERO;
+        let mut epochs_run = 0usize;
+
+        let start = Instant::now();
+        for epoch in 1..=self.config.epochs {
+            epochs_run = epoch;
+            optimizer.begin_step();
+            let logits = model.forward(ctx, true, &mut rng)?;
+            let (loss, grad) = softmax_cross_entropy_masked(&logits, labels, &split.train)?;
+            final_loss = loss;
+            model.zero_grad();
+            model.backward(ctx, &grad)?;
+            model.apply_gradients(&mut optimizer)?;
+            aggregation_time += model.take_aggregation_time();
+
+            // Evaluation pass (dropout disabled).
+            let eval_logits = model.forward(ctx, false, &mut rng)?;
+            aggregation_time += model.take_aggregation_time();
+            let val_acc = if split.val.is_empty() {
+                accuracy(&eval_logits, labels, &split.train)?
+            } else {
+                accuracy(&eval_logits, labels, &split.val)?
+            };
+            let test_acc = if split.test.is_empty() {
+                val_acc
+            } else {
+                accuracy(&eval_logits, labels, &split.test)?
+            };
+
+            if val_acc > best_val {
+                best_val = val_acc;
+                test_at_best = test_acc;
+                epochs_without_improvement = 0;
+            } else {
+                epochs_without_improvement += 1;
+            }
+
+            if epoch % self.config.record_every.max(1) == 0 || epoch == 1 {
+                history.push(EpochRecord {
+                    epoch,
+                    elapsed: start.elapsed(),
+                    train_loss: loss,
+                    val_accuracy: val_acc,
+                });
+            }
+
+            if self.config.patience > 0 && epochs_without_improvement >= self.config.patience {
+                break;
+            }
+        }
+        let train_time = start.elapsed();
+
+        Ok(TrainReport {
+            model: model.name().to_string(),
+            best_val_accuracy: best_val.max(0.0),
+            test_accuracy: test_at_best,
+            final_train_loss: final_loss,
+            epochs_run,
+            train_time,
+            aggregation_time,
+            precompute_time: ctx.timings().total(),
+            history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::{small_context, split_for};
+    use crate::{ModelHyperParams, ModelKind};
+
+    fn quick_config(epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            learning_rate: 0.03,
+            weight_decay: 0.0,
+            patience: 0,
+            record_every: 2,
+        }
+    }
+
+    #[test]
+    fn trains_sigma_end_to_end() {
+        let ctx = small_context();
+        let split = split_for(&ctx);
+        let mut model = ModelKind::Sigma
+            .build(&ctx, &ModelHyperParams::small(), 1)
+            .unwrap();
+        let report = Trainer::new(quick_config(30))
+            .train(model.as_mut(), &ctx, &split, 1)
+            .unwrap();
+        assert_eq!(report.model, "SIGMA");
+        assert_eq!(report.epochs_run, 30);
+        assert!(report.best_val_accuracy > 0.3, "val acc {}", report.best_val_accuracy);
+        assert!(report.final_train_loss.is_finite());
+        assert!(!report.history.is_empty());
+        assert!(report.aggregation_time > Duration::ZERO);
+        assert!(report.learning_time() >= report.train_time);
+        // SIGMA's context includes SimRank precomputation time.
+        assert!(report.precompute_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn early_stopping_cuts_training_short() {
+        let ctx = small_context();
+        let split = split_for(&ctx);
+        let mut model = ModelKind::Mlp
+            .build(&ctx, &ModelHyperParams::small(), 2)
+            .unwrap();
+        let cfg = TrainConfig {
+            epochs: 500,
+            patience: 5,
+            ..quick_config(500)
+        };
+        let report = Trainer::new(cfg).train(model.as_mut(), &ctx, &split, 2).unwrap();
+        assert!(report.epochs_run < 500, "early stopping never triggered");
+    }
+
+    #[test]
+    fn history_is_monotone_in_time() {
+        let ctx = small_context();
+        let split = split_for(&ctx);
+        let mut model = ModelKind::Linkx
+            .build(&ctx, &ModelHyperParams::small(), 3)
+            .unwrap();
+        let report = Trainer::new(quick_config(10))
+            .train(model.as_mut(), &ctx, &split, 3)
+            .unwrap();
+        for pair in report.history.windows(2) {
+            assert!(pair[1].elapsed >= pair[0].elapsed);
+            assert!(pair[1].epoch > pair[0].epoch);
+        }
+    }
+
+    #[test]
+    fn every_model_kind_trains_one_epoch() {
+        let ctx = small_context();
+        let split = split_for(&ctx);
+        let mut kinds = ModelKind::TABLE_V.to_vec();
+        kinds.push(ModelKind::SigmaIterative(2));
+        kinds.push(ModelKind::Gcn(3));
+        for kind in kinds {
+            let mut model = kind.build(&ctx, &ModelHyperParams::small(), 5).unwrap();
+            assert!(model.num_parameters() > 0);
+            let report = Trainer::new(quick_config(2))
+                .train(model.as_mut(), &ctx, &split, 5)
+                .unwrap_or_else(|e| panic!("{} failed to train: {e}", kind.name()));
+            assert!(
+                report.final_train_loss.is_finite(),
+                "{} produced a non-finite loss",
+                kind.name()
+            );
+        }
+    }
+}

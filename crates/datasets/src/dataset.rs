@@ -1,0 +1,119 @@
+//! An attributed, labelled graph dataset.
+
+use crate::{Result, Split};
+use sigma_graph::Graph;
+use sigma_matrix::DenseMatrix;
+
+/// A node-classification dataset: topology, node features, labels and a name.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (preset name or "synthetic").
+    pub name: String,
+    /// Graph topology.
+    pub graph: Graph,
+    /// Node feature matrix `X` of shape `n × f`.
+    pub features: DenseMatrix,
+    /// Node labels, length `n`, values in `0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes `N_y`.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Feature dimensionality `f`.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Node homophily `H_node` (paper Eq. 1).
+    pub fn node_homophily(&self) -> Result<f64> {
+        Ok(sigma_graph::node_homophily(&self.graph, &self.labels)?)
+    }
+
+    /// Creates a stratified 50/25/25 train/validation/test split, the setting
+    /// used by GloGNN/LINKX and adopted by the paper.
+    pub fn default_split(&self, seed: u64) -> Result<Split> {
+        Split::stratified(&self.labels, 0.5, 0.25, seed)
+    }
+
+    /// Creates a stratified split with custom fractions.
+    pub fn split(&self, train_frac: f64, val_frac: f64, seed: u64) -> Result<Split> {
+        Split::stratified(&self.labels, train_frac, val_frac, seed)
+    }
+
+    /// One-line human readable summary (used by examples and benches).
+    pub fn summary(&self) -> String {
+        let homophily = self.node_homophily().unwrap_or(f64::NAN);
+        format!(
+            "{}: n={} m={} f={} classes={} H_node={:.2}",
+            self.name,
+            self.num_nodes(),
+            self.num_edges(),
+            self.feature_dim(),
+            self.num_classes,
+            homophily
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigma_graph::Graph;
+
+    fn toy_dataset() -> Dataset {
+        let graph = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        Dataset {
+            name: "toy".to_string(),
+            graph,
+            features: DenseMatrix::from_fn(6, 3, |i, j| (i * 3 + j) as f32),
+            labels: vec![0, 0, 0, 1, 1, 1],
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy_dataset();
+        assert_eq!(d.num_nodes(), 6);
+        assert_eq!(d.num_edges(), 6);
+        assert_eq!(d.feature_dim(), 3);
+        assert!(d.summary().contains("toy"));
+        assert!(d.summary().contains("n=6"));
+    }
+
+    #[test]
+    fn homophily_matches_manual_count() {
+        let d = toy_dataset();
+        // Ring 0-1-2-3-4-5: nodes 0,2,3,5 have one same-label neighbour out of
+        // two; nodes 1 and 4 have both neighbours same-labelled.
+        let expect = (4.0 * 0.5 + 2.0 * 1.0) / 6.0;
+        assert!((d.node_homophily().unwrap() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_split_covers_all_nodes_without_overlap() {
+        let d = toy_dataset();
+        let split = d.default_split(0).unwrap();
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.val)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        assert!(!split.train.is_empty());
+    }
+}

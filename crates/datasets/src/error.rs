@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// Errors produced by dataset generation and splitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// A generator parameter is outside its valid range.
+    InvalidConfig {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Split fractions do not form a valid partition.
+    InvalidSplit {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An underlying graph operation failed.
+    Graph(sigma_graph::GraphError),
+    /// An underlying matrix operation failed.
+    Matrix(sigma_matrix::MatrixError),
+    /// Reading or writing a dataset file failed.
+    Io {
+        /// The underlying I/O error, rendered as text.
+        message: String,
+    },
+    /// A dataset file could not be parsed.
+    Parse {
+        /// File the error occurred in (`meta.tsv`, `features.tsv`, ...).
+        file: String,
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig { name, reason } => {
+                write!(f, "invalid generator config `{name}`: {reason}")
+            }
+            DatasetError::InvalidSplit { reason } => write!(f, "invalid split: {reason}"),
+            DatasetError::Graph(e) => write!(f, "graph error: {e}"),
+            DatasetError::Matrix(e) => write!(f, "matrix error: {e}"),
+            DatasetError::Io { message } => write!(f, "dataset I/O error: {message}"),
+            DatasetError::Parse {
+                file,
+                line,
+                message,
+            } => write!(f, "dataset parse error in {file} at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Graph(e) => Some(e),
+            DatasetError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sigma_graph::GraphError> for DatasetError {
+    fn from(e: sigma_graph::GraphError) -> Self {
+        DatasetError::Graph(e)
+    }
+}
+
+impl From<sigma_matrix::MatrixError> for DatasetError {
+    fn from(e: sigma_matrix::MatrixError) -> Self {
+        DatasetError::Matrix(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DatasetError::InvalidConfig { name: "num_nodes", reason: "must be > 0".into() };
+        assert!(e.to_string().contains("num_nodes"));
+        let e = DatasetError::InvalidSplit { reason: "fractions exceed 1".into() };
+        assert!(e.to_string().contains("fractions"));
+        let e: DatasetError = sigma_graph::GraphError::EmptyGraph.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: DatasetError = sigma_matrix::MatrixError::NonFiniteValue { op: "gen" }.into();
+        assert!(matches!(e, DatasetError::Matrix(_)));
+    }
+}

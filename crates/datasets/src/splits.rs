@@ -1,0 +1,143 @@
+//! Train/validation/test splits.
+
+use crate::{DatasetError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A node-level train/validation/test partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training node indices.
+    pub train: Vec<usize>,
+    /// Validation node indices.
+    pub val: Vec<usize>,
+    /// Test node indices.
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Stratified random split: within every class, `train_frac` of the nodes
+    /// go to train, `val_frac` to validation and the remainder to test.
+    ///
+    /// The paper follows GloGNN's 50/25/25 splits; stratification keeps every
+    /// class represented in each partition even on tiny graphs.
+    pub fn stratified(labels: &[usize], train_frac: f64, val_frac: f64, seed: u64) -> Result<Self> {
+        if labels.is_empty() {
+            return Err(DatasetError::InvalidSplit {
+                reason: "no nodes to split".to_string(),
+            });
+        }
+        if !(0.0..=1.0).contains(&train_frac)
+            || !(0.0..=1.0).contains(&val_frac)
+            || train_frac + val_frac >= 1.0 + 1e-9
+            || train_frac <= 0.0
+        {
+            return Err(DatasetError::InvalidSplit {
+                reason: format!("invalid fractions train={train_frac} val={val_frac}"),
+            });
+        }
+        let num_classes = labels.iter().max().map_or(0, |&m| m + 1);
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+        for (node, &label) in labels.iter().enumerate() {
+            per_class[label].push(node);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut split = Split {
+            train: Vec::new(),
+            val: Vec::new(),
+            test: Vec::new(),
+        };
+        for mut nodes in per_class {
+            if nodes.is_empty() {
+                continue;
+            }
+            nodes.shuffle(&mut rng);
+            let n = nodes.len();
+            // Guarantee at least one training node per non-empty class.
+            let n_train = ((n as f64 * train_frac).round() as usize).clamp(1, n);
+            let n_val = ((n as f64 * val_frac).round() as usize).min(n - n_train);
+            split.train.extend(&nodes[..n_train]);
+            split.val.extend(&nodes[n_train..n_train + n_val]);
+            split.test.extend(&nodes[n_train + n_val..]);
+        }
+        split.train.sort_unstable();
+        split.val.sort_unstable();
+        split.test.sort_unstable();
+        Ok(split)
+    }
+
+    /// Total number of nodes across the three partitions.
+    pub fn total(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_respected_approximately() {
+        let labels: Vec<usize> = (0..200).map(|i| i % 4).collect();
+        let split = Split::stratified(&labels, 0.5, 0.25, 42).unwrap();
+        assert_eq!(split.total(), 200);
+        assert!((split.train.len() as i64 - 100).abs() <= 4);
+        assert!((split.val.len() as i64 - 50).abs() <= 4);
+        assert!((split.test.len() as i64 - 50).abs() <= 4);
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover_everything() {
+        let labels: Vec<usize> = (0..97).map(|i| i % 3).collect();
+        let split = Split::stratified(&labels, 0.6, 0.2, 7).unwrap();
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.val)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..97).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn every_class_appears_in_train() {
+        let labels: Vec<usize> = (0..30).map(|i| i % 5).collect();
+        let split = Split::stratified(&labels, 0.5, 0.25, 3).unwrap();
+        for class in 0..5 {
+            assert!(
+                split.train.iter().any(|&n| labels[n] == class),
+                "class {class} missing from train"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let labels: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        assert_eq!(
+            Split::stratified(&labels, 0.5, 0.25, 9).unwrap(),
+            Split::stratified(&labels, 0.5, 0.25, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(Split::stratified(&[], 0.5, 0.25, 0).is_err());
+        let labels = vec![0, 1];
+        assert!(Split::stratified(&labels, 0.0, 0.25, 0).is_err());
+        assert!(Split::stratified(&labels, 0.8, 0.4, 0).is_err());
+        assert!(Split::stratified(&labels, 1.2, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn tiny_classes_keep_a_training_node() {
+        // One class has a single node: it must land in train.
+        let labels = vec![0, 0, 0, 0, 1];
+        let split = Split::stratified(&labels, 0.5, 0.25, 1).unwrap();
+        assert!(split.train.contains(&4));
+    }
+}

@@ -1,0 +1,129 @@
+//! Dataset summary statistics.
+//!
+//! The paper's Table V header rows report, for every dataset, the node/edge
+//! counts, class count, feature dimensionality and node homophily. This
+//! module computes that row (plus the degree and class-balance statistics the
+//! synthetic generator is validated against) for any [`Dataset`].
+
+use crate::{Dataset, Result};
+use sigma_graph::{class_distribution, degree_statistics, edge_homophily, node_homophily};
+
+/// The Table V-style summary of one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStatistics {
+    /// Dataset name.
+    pub name: String,
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Number of undirected edges `m`.
+    pub edges: usize,
+    /// Feature dimensionality `f`.
+    pub features: usize,
+    /// Number of classes `N_y`.
+    pub classes: usize,
+    /// Node homophily `H_node` (paper Eq. 1).
+    pub node_homophily: f64,
+    /// Edge homophily (fraction of same-label edges).
+    pub edge_homophily: f64,
+    /// Average degree `2m/n`.
+    pub avg_degree: f64,
+    /// Largest degree in the graph.
+    pub max_degree: usize,
+    /// Number of isolated nodes.
+    pub isolated_nodes: usize,
+    /// Nodes per class, indexed by class id.
+    pub class_sizes: Vec<usize>,
+}
+
+impl DatasetStatistics {
+    /// Computes the statistics of `dataset`.
+    pub fn compute(dataset: &Dataset) -> Result<Self> {
+        let degrees = degree_statistics(&dataset.graph)?;
+        let mut class_sizes = class_distribution(&dataset.labels);
+        class_sizes.resize(dataset.num_classes.max(class_sizes.len()), 0);
+        Ok(Self {
+            name: dataset.name.clone(),
+            nodes: dataset.num_nodes(),
+            edges: dataset.num_edges(),
+            features: dataset.feature_dim(),
+            classes: dataset.num_classes,
+            node_homophily: node_homophily(&dataset.graph, &dataset.labels)?,
+            edge_homophily: edge_homophily(&dataset.graph, &dataset.labels)?,
+            avg_degree: dataset.graph.avg_degree(),
+            max_degree: degrees.max,
+            isolated_nodes: degrees.isolated,
+            class_sizes,
+        })
+    }
+
+    /// Fraction of nodes in the largest class (0.5 = balanced binary task).
+    pub fn majority_class_fraction(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.class_sizes.iter().copied().max().unwrap_or(0) as f64 / self.nodes as f64
+    }
+
+    /// Whether the dataset counts as heterophilous under the paper's informal
+    /// `H_node < 0.5` threshold.
+    pub fn is_heterophilous(&self) -> bool {
+        self.node_homophily < 0.5
+    }
+
+    /// A single Table V-style text row.
+    pub fn to_row(&self) -> String {
+        format!(
+            "{}\tn={}\tm={}\tf={}\tC={}\tH_node={:.2}\tH_edge={:.2}\td̄={:.1}",
+            self.name,
+            self.nodes,
+            self.edges,
+            self.features,
+            self.classes,
+            self.node_homophily,
+            self.edge_homophily,
+            self.avg_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetPreset, GeneratorConfig};
+
+    #[test]
+    fn statistics_match_the_dataset_accessors() {
+        let data = generate(&GeneratorConfig::new(120, 6.0, 3, 8).with_homophily(0.2), 0).unwrap();
+        let stats = DatasetStatistics::compute(&data).unwrap();
+        assert_eq!(stats.nodes, data.num_nodes());
+        assert_eq!(stats.edges, data.num_edges());
+        assert_eq!(stats.features, 8);
+        assert_eq!(stats.classes, 3);
+        assert_eq!(stats.class_sizes.iter().sum::<usize>(), 120);
+        assert!((stats.node_homophily - data.node_homophily().unwrap()).abs() < 1e-12);
+        assert!((stats.avg_degree - data.graph.avg_degree()).abs() < 1e-12);
+        assert!(stats.max_degree >= stats.avg_degree as usize);
+        assert!(stats.is_heterophilous());
+        assert!(stats.to_row().contains("n=120"));
+    }
+
+    #[test]
+    fn homophilous_presets_are_flagged_correctly() {
+        let cora = DatasetPreset::Cora.build(0.5, 1).unwrap();
+        let texas = DatasetPreset::Texas.build(1.0, 1).unwrap();
+        let cora_stats = DatasetStatistics::compute(&cora).unwrap();
+        let texas_stats = DatasetStatistics::compute(&texas).unwrap();
+        assert!(!cora_stats.is_heterophilous());
+        assert!(texas_stats.is_heterophilous());
+        assert!(cora_stats.node_homophily > texas_stats.node_homophily);
+    }
+
+    #[test]
+    fn class_balance_is_reported() {
+        let data = generate(&GeneratorConfig::new(90, 4.0, 3, 4), 2).unwrap();
+        let stats = DatasetStatistics::compute(&data).unwrap();
+        let majority = stats.majority_class_fraction();
+        assert!(majority >= 1.0 / 3.0 - 1e-9);
+        assert!(majority <= 1.0);
+    }
+}

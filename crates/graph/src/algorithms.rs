@@ -1,0 +1,273 @@
+//! Classical graph algorithms used by the analysis tooling and tests:
+//! breadth-first search, connected components, clustering coefficients,
+//! k-hop neighbourhoods and degree statistics.
+//!
+//! These are not on SIGMA's training path (the model only needs the constant
+//! operators from [`crate::normalize`]), but the evaluation and the dataset
+//! generator rely on them: Corollary III.3 reasons about even-hop tours,
+//! Fig. 1 needs hop distances around a centre node, and the synthetic presets
+//! are validated against degree and connectivity statistics.
+
+use crate::{Graph, GraphError, Result};
+use std::collections::VecDeque;
+
+/// Breadth-first-search distances from `source` (`usize::MAX` marks
+/// unreachable nodes).
+pub fn bfs_distances(graph: &Graph, source: usize) -> Result<Vec<usize>> {
+    if source >= graph.num_nodes() {
+        return Err(GraphError::NodeOutOfBounds {
+            node: source,
+            num_nodes: graph.num_nodes(),
+        });
+    }
+    let mut dist = vec![usize::MAX; graph.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let next = dist[u] + 1;
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == usize::MAX {
+                dist[v] = next;
+                queue.push_back(v);
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// All nodes within `hops` steps of `source` (excluding `source` itself),
+/// sorted by node id.
+pub fn k_hop_neighborhood(graph: &Graph, source: usize, hops: usize) -> Result<Vec<usize>> {
+    let dist = bfs_distances(graph, source)?;
+    let mut out: Vec<usize> = dist
+        .iter()
+        .enumerate()
+        .filter(|&(v, &d)| v != source && d != usize::MAX && d <= hops)
+        .map(|(v, _)| v)
+        .collect();
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Connected-component label for every node (labels are dense, starting at 0
+/// in order of discovery).
+pub fn component_labels(graph: &Graph) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u) {
+                let v = v as usize;
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Size of the largest connected component (0 for an empty graph).
+pub fn largest_component_size(graph: &Graph) -> usize {
+    let labels = component_labels(graph);
+    if labels.is_empty() {
+        return 0;
+    }
+    let mut counts = vec![0usize; labels.iter().max().map(|&m| m + 1).unwrap_or(0)];
+    for &l in &labels {
+        counts[l] += 1;
+    }
+    counts.into_iter().max().unwrap_or(0)
+}
+
+/// Local clustering coefficient of one node: the fraction of its neighbour
+/// pairs that are themselves connected. Nodes of degree < 2 have coefficient 0.
+pub fn local_clustering_coefficient(graph: &Graph, node: usize) -> Result<f64> {
+    if node >= graph.num_nodes() {
+        return Err(GraphError::NodeOutOfBounds {
+            node,
+            num_nodes: graph.num_nodes(),
+        });
+    }
+    let neighbours = graph.neighbors(node);
+    let d = neighbours.len();
+    if d < 2 {
+        return Ok(0.0);
+    }
+    let mut closed = 0usize;
+    for (i, &u) in neighbours.iter().enumerate() {
+        for &v in &neighbours[i + 1..] {
+            if graph.has_edge(u as usize, v as usize) {
+                closed += 1;
+            }
+        }
+    }
+    Ok(2.0 * closed as f64 / (d * (d - 1)) as f64)
+}
+
+/// Average local clustering coefficient over all nodes.
+pub fn average_clustering_coefficient(graph: &Graph) -> f64 {
+    if graph.num_nodes() == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..graph.num_nodes())
+        .map(|v| local_clustering_coefficient(graph, v).unwrap_or(0.0))
+        .sum();
+    total / graph.num_nodes() as f64
+}
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStatistics {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree (`2m/n`).
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated: usize,
+}
+
+/// Computes [`DegreeStatistics`] for `graph`.
+pub fn degree_statistics(graph: &Graph) -> Result<DegreeStatistics> {
+    if graph.num_nodes() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut degrees: Vec<usize> = (0..graph.num_nodes()).map(|v| graph.degree(v)).collect();
+    degrees.sort_unstable();
+    let isolated = degrees.iter().take_while(|&&d| d == 0).count();
+    Ok(DegreeStatistics {
+        min: degrees[0],
+        max: *degrees.last().expect("non-empty"),
+        mean: degrees.iter().sum::<usize>() as f64 / degrees.len() as f64,
+        median: degrees[degrees.len() / 2],
+        isolated,
+    })
+}
+
+/// The diameter (longest shortest path) of the component containing `source`.
+pub fn eccentricity(graph: &Graph, source: usize) -> Result<usize> {
+    let dist = bfs_distances(graph, source)?;
+    Ok(dist
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    fn triangle_plus_isolated() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = path_graph(5);
+        let dist = bfs_distances(&g, 0).unwrap();
+        assert_eq!(dist, vec![0, 1, 2, 3, 4]);
+        let dist = bfs_distances(&g, 2).unwrap();
+        assert_eq!(dist, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable_nodes() {
+        let g = triangle_plus_isolated();
+        let dist = bfs_distances(&g, 0).unwrap();
+        assert_eq!(dist[1], 1);
+        assert_eq!(dist[3], usize::MAX);
+        assert_eq!(dist[4], usize::MAX);
+    }
+
+    #[test]
+    fn bfs_rejects_out_of_bounds_source() {
+        let g = path_graph(3);
+        assert!(matches!(
+            bfs_distances(&g, 7),
+            Err(GraphError::NodeOutOfBounds { node: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn k_hop_neighbourhood_grows_with_hops() {
+        let g = path_graph(6);
+        assert_eq!(k_hop_neighborhood(&g, 0, 1).unwrap(), vec![1]);
+        assert_eq!(k_hop_neighborhood(&g, 0, 2).unwrap(), vec![1, 2]);
+        assert_eq!(k_hop_neighborhood(&g, 0, 10).unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn component_labels_partition_the_graph() {
+        let g = triangle_plus_isolated();
+        let labels = component_labels(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_a_triangle_is_one() {
+        let g = triangle_plus_isolated();
+        assert_eq!(local_clustering_coefficient(&g, 0).unwrap(), 1.0);
+        // Degree-1 node has coefficient zero.
+        assert_eq!(local_clustering_coefficient(&g, 3).unwrap(), 0.0);
+        let avg = average_clustering_coefficient(&g);
+        assert!(avg > 0.5 && avg < 1.0);
+        assert!(local_clustering_coefficient(&g, 99).is_err());
+    }
+
+    #[test]
+    fn path_graph_has_no_triangles() {
+        let g = path_graph(6);
+        assert_eq!(average_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn degree_statistics_summarise_the_sequence() {
+        let g = triangle_plus_isolated();
+        let stats = degree_statistics(&g).unwrap();
+        assert_eq!(stats.min, 1);
+        assert_eq!(stats.max, 2);
+        assert_eq!(stats.isolated, 0);
+        assert!((stats.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert!(degree_statistics(&Graph::empty(0)).is_err());
+    }
+
+    #[test]
+    fn eccentricity_of_path_endpoints() {
+        let g = path_graph(5);
+        assert_eq!(eccentricity(&g, 0).unwrap(), 4);
+        assert_eq!(eccentricity(&g, 2).unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_graph_statistics_are_safe() {
+        let g = Graph::empty(0);
+        assert_eq!(component_labels(&g), Vec::<usize>::new());
+        assert_eq!(largest_component_size(&g), 0);
+        assert_eq!(average_clustering_coefficient(&g), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+use std::fmt;
+
+/// Errors produced by graph construction and graph-level computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node id `>= num_nodes`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A per-node attribute array (labels, features) has the wrong length.
+    LabelLengthMismatch {
+        /// Expected length (number of nodes).
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+    /// An underlying matrix operation failed (propagated from `sigma-matrix`).
+    Matrix(sigma_matrix::MatrixError),
+    /// Reading or writing a graph file failed.
+    Io {
+        /// The underlying I/O error, rendered as text (keeps the error type
+        /// `Clone`/`PartialEq`).
+        message: String,
+    },
+    /// An edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node id {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::LabelLengthMismatch { expected, actual } => {
+                write!(f, "attribute length {actual} does not match node count {expected}")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::Matrix(e) => write!(f, "matrix error: {e}"),
+            GraphError::Io { message } => write!(f, "graph I/O error: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "edge-list parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sigma_matrix::MatrixError> for GraphError {
+    fn from(e: sigma_matrix::MatrixError) -> Self {
+        GraphError::Matrix(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::NodeOutOfBounds { node: 9, num_nodes: 4 };
+        assert!(e.to_string().contains("9"));
+        let e = GraphError::LabelLengthMismatch { expected: 3, actual: 5 };
+        assert!(e.to_string().contains("5"));
+        assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn matrix_error_converts() {
+        let me = sigma_matrix::MatrixError::NonFiniteValue { op: "x" };
+        let ge: GraphError = me.into();
+        assert!(matches!(ge, GraphError::Matrix(_)));
+        assert!(std::error::Error::source(&ge).is_some());
+    }
+}

@@ -1,0 +1,284 @@
+use crate::{GraphError, Result};
+use sigma_matrix::CsrMatrix;
+
+/// An undirected, unweighted graph stored in CSR (adjacency-list) form.
+///
+/// Construction symmetrizes edges, removes self-loops and duplicate edges,
+/// and sorts each neighbor list. Node ids are `0..num_nodes`.
+///
+/// The CSR layout makes neighbor iteration an `O(deg)` slice walk, which is
+/// what the SimRank LocalPush loop, PPR push loop, and all propagation
+/// operators are built on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_nodes: usize,
+    /// Row pointers: neighbors of node `v` are `indices[indptr[v]..indptr[v+1]]`.
+    indptr: Vec<usize>,
+    /// Flattened, per-node sorted neighbor lists.
+    indices: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an undirected edge list.
+    ///
+    /// Each `(u, v)` pair is inserted in both directions. Self-loops and
+    /// duplicate edges are dropped. Returns an error if an endpoint is
+    /// `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        for &(u, v) in edges {
+            if u >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: u, num_nodes });
+            }
+            if v >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: v, num_nodes });
+            }
+        }
+        // Count degrees (both directions, skipping self loops).
+        let mut degree = vec![0usize; num_nodes];
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut indptr = vec![0usize; num_nodes + 1];
+        for v in 0..num_nodes {
+            indptr[v + 1] = indptr[v] + degree[v];
+        }
+        let mut indices = vec![0u32; indptr[num_nodes]];
+        let mut cursor = indptr.clone();
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            indices[cursor[u]] = v as u32;
+            cursor[u] += 1;
+            indices[cursor[v]] = u as u32;
+            cursor[v] += 1;
+        }
+        // Sort and deduplicate each neighbor list, then re-compact.
+        let mut final_indptr = vec![0usize; num_nodes + 1];
+        let mut final_indices = Vec::with_capacity(indices.len());
+        for v in 0..num_nodes {
+            let start = indptr[v];
+            let end = indptr[v + 1];
+            let mut neigh: Vec<u32> = indices[start..end].to_vec();
+            neigh.sort_unstable();
+            neigh.dedup();
+            final_indices.extend_from_slice(&neigh);
+            final_indptr[v + 1] = final_indices.len();
+        }
+        Ok(Self {
+            num_nodes,
+            indptr: final_indptr,
+            indices: final_indices,
+        })
+    }
+
+    /// Builds a graph that contains `num_nodes` nodes and no edges.
+    pub fn empty(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            indptr: vec![0; num_nodes + 1],
+            indices: Vec::new(),
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges `m` (each edge counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.indices.len() / 2
+    }
+
+    /// Number of directed arcs (`2m`).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Average degree `d = 2m / n`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.indices.len() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.indptr[v + 1] - self.indptr[v]
+    }
+
+    /// Sorted neighbor list of node `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.indices[self.indptr[v]..self.indptr[v + 1]]
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        if u >= self.num_nodes || v >= self.num_nodes {
+            return false;
+        }
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_nodes).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| (v as usize) > u)
+                .map(move |&v| (u, v as usize))
+        })
+    }
+
+    /// Nodes with no incident edges.
+    pub fn isolated_nodes(&self) -> Vec<usize> {
+        (0..self.num_nodes).filter(|&v| self.degree(v) == 0).collect()
+    }
+
+    /// The raw CSR row-pointer array.
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The raw CSR neighbor array.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Binary adjacency matrix `A` as a [`CsrMatrix`] (value 1.0 per arc).
+    pub fn to_adjacency(&self) -> CsrMatrix {
+        CsrMatrix::from_raw(
+            self.num_nodes,
+            self.num_nodes,
+            self.indptr.clone(),
+            self.indices.clone(),
+            vec![1.0; self.indices.len()],
+        )
+        .expect("graph CSR layout is always a valid CSR matrix")
+    }
+
+    /// Number of connected components (BFS over the undirected graph).
+    pub fn connected_components(&self) -> usize {
+        let mut visited = vec![false; self.num_nodes];
+        let mut components = 0;
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..self.num_nodes {
+            if visited[start] {
+                continue;
+            }
+            components += 1;
+            visited[start] = true;
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                for &w in self.neighbors(v) {
+                    let w = w as usize;
+                    if !visited[w] {
+                        visited[w] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = path_graph();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrees_and_neighbors_sorted() {
+        let g = Graph::from_edges(4, &[(3, 0), (0, 1), (2, 0)]).unwrap();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_removed() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert!(!g.has_edge(0, 0));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn out_of_bounds_edge_rejected() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfBounds { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn has_edge_handles_out_of_range_queries() {
+        let g = path_graph();
+        assert!(!g.has_edge(0, 99));
+        assert!(!g.has_edge(99, 0));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = path_graph();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph_and_isolated_nodes() {
+        let g = Graph::empty(3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.isolated_nodes(), vec![0, 1, 2]);
+        assert_eq!(g.connected_components(), 3);
+        assert_eq!(Graph::empty(0).avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn adjacency_matrix_matches_topology() {
+        let g = path_graph();
+        let a = g.to_adjacency();
+        assert_eq!(a.shape(), (4, 4));
+        assert_eq!(a.nnz(), 6);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn connected_components_counts() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(g.connected_components(), 3);
+        let h = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(h.connected_components(), 1);
+    }
+}

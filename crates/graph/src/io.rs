@@ -1,0 +1,180 @@
+//! Plain-text edge-list serialisation.
+//!
+//! The paper's datasets ship as edge lists; this module provides the matching
+//! on-disk format for the reproduction so users can run SIGMA on their own
+//! graphs (see the `custom_dataset` example):
+//!
+//! ```text
+//! # sigma-graph edge list
+//! nodes <n>
+//! <u> <v>
+//! <u> <v>
+//! ...
+//! ```
+//!
+//! Lines starting with `#` are comments; duplicate and self-loop edges are
+//! rejected by [`Graph::from_edges`]'s usual rules.
+
+use crate::{Graph, GraphError, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Writes `graph` as a plain-text edge list.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: &mut W) -> Result<()> {
+    let io_err = |e: std::io::Error| GraphError::Io {
+        message: e.to_string(),
+    };
+    writeln!(writer, "# sigma-graph edge list").map_err(io_err)?;
+    writeln!(writer, "nodes {}", graph.num_nodes()).map_err(io_err)?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u} {v}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Writes `graph` to the file at `path` (creating or truncating it).
+pub fn save_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    let mut file = std::fs::File::create(path).map_err(|e| GraphError::Io {
+        message: e.to_string(),
+    })?;
+    write_edge_list(graph, &mut file)
+}
+
+/// Reads a graph from a plain-text edge list.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
+    let buf = BufReader::new(reader);
+    let mut num_nodes: Option<usize> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (line_no, line) in buf.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Io {
+            message: e.to_string(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parse_err = |message: &str| GraphError::Parse {
+            line: line_no + 1,
+            message: message.to_string(),
+        };
+        if let Some(rest) = trimmed.strip_prefix("nodes ") {
+            let n = rest
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| parse_err("invalid node count"))?;
+            num_nodes = Some(n);
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u = parts
+            .next()
+            .ok_or_else(|| parse_err("missing source node"))?
+            .parse::<usize>()
+            .map_err(|_| parse_err("invalid source node"))?;
+        let v = parts
+            .next()
+            .ok_or_else(|| parse_err("missing target node"))?
+            .parse::<usize>()
+            .map_err(|_| parse_err("invalid target node"))?;
+        if parts.next().is_some() {
+            return Err(parse_err("trailing tokens after edge"));
+        }
+        edges.push((u, v));
+    }
+    let num_nodes = num_nodes.unwrap_or_else(|| {
+        edges
+            .iter()
+            .map(|&(u, v)| u.max(v) + 1)
+            .max()
+            .unwrap_or(0)
+    });
+    Graph::from_edges(num_nodes, &edges)
+}
+
+/// Reads a graph from the file at `path`.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    let file = std::fs::File::open(path).map_err(|e| GraphError::Io {
+        message: e.to_string(),
+    })?;
+    read_edge_list(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap()
+    }
+
+    #[test]
+    fn round_trips_through_a_buffer() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(loaded.num_nodes(), g.num_nodes());
+        assert_eq!(loaded.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(loaded.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join("sigma-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.edges");
+        save_edge_list(&g, &path).unwrap();
+        let loaded = load_edge_list(&path).unwrap();
+        assert_eq!(loaded.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# comment\n\nnodes 3\n0 1\n# another\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn node_count_is_inferred_when_missing() {
+        let g = read_edge_list("0 1\n1 4\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = read_edge_list("nodes 3\n0 x\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(read_edge_list("nodes 3\n0 1 7 9\n".as_bytes()).is_err());
+        assert!(read_edge_list("nodes zz\n".as_bytes()).is_err());
+        assert!(read_edge_list("nodes 3\n5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_edges_are_rejected() {
+        let err = read_edge_list("nodes 2\n0 5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_edge_list("/definitely/not/a/real/path.edges").unwrap_err();
+        assert!(matches!(err, GraphError::Io { .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # sigma-graph
+//!
+//! Graph substrate for the SIGMA reproduction: undirected graphs in CSR
+//! form, the normalized propagation operators used by GNN baselines, the
+//! homophily metrics the paper reports for every dataset (node homophily,
+//! Eq. 1), and the edge-sampling utilities behind the Fig. 5 scalability
+//! sweep.
+//!
+//! A [`Graph`] stores only topology. Node features, labels and splits are
+//! owned by `sigma-datasets`; similarity operators (SimRank, PPR) are
+//! computed by `sigma-simrank` on top of this crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use sigma_graph::Graph;
+//!
+//! // A 4-cycle.
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//! assert_eq!(g.degree(0), 2);
+//! assert!(g.has_edge(0, 3));
+//!
+//! // Node homophily (paper Eq. 1) with alternating labels: every neighbour
+//! // differs from the centre node, so homophily is 0.
+//! let labels = vec![0, 1, 0, 1];
+//! assert_eq!(sigma_graph::node_homophily(&g, &labels).unwrap(), 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod algorithms;
+mod error;
+mod graph;
+mod homophily;
+mod io;
+mod normalize;
+mod sampling;
+
+pub use algorithms::{
+    average_clustering_coefficient, bfs_distances, component_labels, degree_statistics,
+    eccentricity, k_hop_neighborhood, largest_component_size, local_clustering_coefficient,
+    DegreeStatistics,
+};
+pub use error::GraphError;
+pub use graph::Graph;
+pub use homophily::{class_distribution, edge_homophily, node_homophily};
+pub use io::{load_edge_list, read_edge_list, save_edge_list, write_edge_list};
+pub use normalize::{
+    adjacency_matrix, adjacency_power, adjacency_with_self_loops, row_normalized_adjacency,
+    sym_normalized_adjacency, transition_matrix,
+};
+pub use sampling::{rescale_edges, subsample_edges, supersample_edges};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

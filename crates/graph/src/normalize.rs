@@ -1,0 +1,199 @@
+//! Propagation operators derived from the adjacency matrix.
+//!
+//! Every GNN baseline in the paper propagates features with some fixed
+//! normalization of `A`:
+//!
+//! * GCN / GCNII / MixHop / SGC use the symmetric normalization
+//!   `Â = D̃^{-1/2} (A + I) D̃^{-1/2}`,
+//! * APPNP / GPR-GNN / PPR-based methods use either `Â` or the random-walk
+//!   transition matrix `P = D^{-1} A`,
+//! * SimRank's pairwise random walk interpretation (Theorem III.2) is stated
+//!   in terms of `P` as well,
+//! * H2GCN and the iterative-SIGMA exploration use 2-hop operators (`Â²`).
+//!
+//! These constructors all return [`CsrMatrix`] operators ready for
+//! `spmm`-based aggregation.
+
+use crate::{Graph, GraphError, Result};
+use sigma_matrix::CsrMatrix;
+
+/// Binary adjacency matrix `A` (alias of [`Graph::to_adjacency`]).
+pub fn adjacency_matrix(graph: &Graph) -> CsrMatrix {
+    graph.to_adjacency()
+}
+
+/// Adjacency with self loops `A + I`.
+pub fn adjacency_with_self_loops(graph: &Graph) -> CsrMatrix {
+    let n = graph.num_nodes();
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(graph.num_arcs() + n);
+    for u in 0..n {
+        triplets.push((u, u, 1.0));
+        for &v in graph.neighbors(u) {
+            triplets.push((u, v as usize, 1.0));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("indices are in range by construction")
+}
+
+/// Row-normalized adjacency `D^{-1} A` (rows of isolated nodes stay zero).
+pub fn row_normalized_adjacency(graph: &Graph) -> CsrMatrix {
+    let mut a = graph.to_adjacency();
+    a.row_normalize();
+    a
+}
+
+/// Random-walk transition matrix `P = D^{-1} A`.
+///
+/// This is the operator whose powers appear in the pairwise-random-walk
+/// decomposition of SimRank (paper Theorem III.2). Identical to
+/// [`row_normalized_adjacency`]; exposed under the paper's name for clarity.
+pub fn transition_matrix(graph: &Graph) -> CsrMatrix {
+    row_normalized_adjacency(graph)
+}
+
+/// Symmetrically normalized adjacency with self loops
+/// `Â = D̃^{-1/2} (A + I) D̃^{-1/2}` used by GCN-style models.
+pub fn sym_normalized_adjacency(graph: &Graph) -> CsrMatrix {
+    let n = graph.num_nodes();
+    let mut inv_sqrt_deg = vec![0.0f32; n];
+    for v in 0..n {
+        // Degree including the self loop.
+        inv_sqrt_deg[v] = 1.0 / ((graph.degree(v) + 1) as f32).sqrt();
+    }
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(graph.num_arcs() + n);
+    for u in 0..n {
+        triplets.push((u, u, inv_sqrt_deg[u] * inv_sqrt_deg[u]));
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            triplets.push((u, v, inv_sqrt_deg[u] * inv_sqrt_deg[v]));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("indices are in range by construction")
+}
+
+/// `power`-th matrix power of an operator, computed by repeated SpGEMM.
+///
+/// Used to form 2-hop neighborhoods (H2GCN, MixHop) and the `Â^k` terms of
+/// SGC. Returns an error for `power == 0` on an empty operator shape
+/// mismatch; `power == 0` yields the identity.
+pub fn adjacency_power(operator: &CsrMatrix, power: usize) -> Result<CsrMatrix> {
+    if operator.rows() != operator.cols() {
+        return Err(GraphError::Matrix(sigma_matrix::MatrixError::DimensionMismatch {
+            op: "adjacency_power",
+            lhs: operator.shape(),
+            rhs: operator.shape(),
+        }));
+    }
+    let n = operator.rows();
+    if power == 0 {
+        return Ok(CsrMatrix::identity(n));
+    }
+    let mut result = operator.clone();
+    for _ in 1..power {
+        result = result.spgemm(operator)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        // Triangle 0-1-2 plus pendant node 3 attached to 2.
+        Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn adjacency_with_self_loops_has_diagonal() {
+        let g = triangle_plus_tail();
+        let a = adjacency_with_self_loops(&g);
+        for v in 0..4 {
+            assert_eq!(a.get(v, v), 1.0);
+        }
+        assert_eq!(a.nnz(), g.num_arcs() + 4);
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let g = triangle_plus_tail();
+        let p = row_normalized_adjacency(&g);
+        for (v, sum) in p.row_sums().iter().enumerate() {
+            assert!((sum - 1.0).abs() < 1e-6, "row {v} sums to {sum}");
+        }
+        // Entry value is 1/deg.
+        assert!((p.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!((p.get(2, 3) - (1.0 / 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transition_matrix_is_row_normalized_adjacency() {
+        let g = triangle_plus_tail();
+        assert_eq!(transition_matrix(&g), row_normalized_adjacency(&g));
+    }
+
+    #[test]
+    fn row_normalized_isolated_node_row_is_zero() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let p = row_normalized_adjacency(&g);
+        assert_eq!(p.row_nnz(2), 0);
+    }
+
+    #[test]
+    fn sym_normalized_is_symmetric_with_correct_values() {
+        let g = triangle_plus_tail();
+        let a_hat = sym_normalized_adjacency(&g);
+        for u in 0..4 {
+            for v in 0..4 {
+                assert!((a_hat.get(u, v) - a_hat.get(v, u)).abs() < 1e-6);
+            }
+        }
+        // Known value: nodes 0 and 1 both have degree 2 (+1 self loop) = 3,
+        // so Â(0,1) = 1/sqrt(3*3) = 1/3.
+        assert!((a_hat.get(0, 1) - 1.0 / 3.0).abs() < 1e-6);
+        // Self-loop entry for node 3 (degree 1 + 1 = 2): 1/2.
+        assert!((a_hat.get(3, 3) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sym_normalized_spectral_radius_at_most_one() {
+        // Power iteration on Â should not blow up: ‖Â^k x‖ stays bounded.
+        let g = triangle_plus_tail();
+        let a_hat = sym_normalized_adjacency(&g);
+        let x = sigma_matrix::DenseMatrix::filled(4, 1, 1.0);
+        let mut y = x.clone();
+        for _ in 0..20 {
+            y = a_hat.spmm(&y).unwrap();
+        }
+        assert!(y.frobenius_norm() <= 2.1);
+    }
+
+    #[test]
+    fn adjacency_power_zero_is_identity() {
+        let g = triangle_plus_tail();
+        let p = transition_matrix(&g);
+        let p0 = adjacency_power(&p, 0).unwrap();
+        assert_eq!(p0, CsrMatrix::identity(4));
+    }
+
+    #[test]
+    fn adjacency_power_two_matches_manual() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let a = adjacency_matrix(&g);
+        let a2 = adjacency_power(&a, 2).unwrap();
+        let dense = a.to_dense().matmul(&a.to_dense()).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((a2.get(r, c) - dense.get(r, c)).abs() < 1e-6);
+            }
+        }
+        // Path of length 2 exists from 0 to 2.
+        assert_eq!(a2.get(0, 2), 1.0);
+    }
+
+    #[test]
+    fn adjacency_power_rejects_non_square() {
+        let rect = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]).unwrap();
+        assert!(adjacency_power(&rect, 2).is_err());
+    }
+}

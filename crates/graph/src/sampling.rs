@@ -1,0 +1,140 @@
+//! Edge-scale manipulation used by the Fig. 5 scalability sweep.
+//!
+//! The paper builds a family of graphs `{g_i}` from the pokec base graph by
+//! randomly removing or adding edges so that graph `i` has `3·10^8 / 2.5^i`
+//! edges. [`rescale_edges`] reproduces that procedure against any base graph:
+//! it subsamples edges when the target is smaller than the current edge
+//! count and adds random non-duplicate edges when it is larger.
+
+use crate::{Graph, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Keeps a uniformly random subset of `target_edges` edges.
+///
+/// If the graph already has at most `target_edges` edges it is returned
+/// unchanged (modulo CSR re-canonicalization).
+pub fn subsample_edges(graph: &Graph, target_edges: usize, seed: u64) -> Result<Graph> {
+    let mut edges: Vec<(usize, usize)> = graph.edges().collect();
+    if edges.len() <= target_edges {
+        return Graph::from_edges(graph.num_nodes(), &edges);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    edges.shuffle(&mut rng);
+    edges.truncate(target_edges);
+    Graph::from_edges(graph.num_nodes(), &edges)
+}
+
+/// Adds uniformly random new edges until the graph has `target_edges` edges.
+///
+/// Candidate edges are sampled with rejection (no self-loops, no duplicates).
+/// If the requested count is below the current edge count the graph is
+/// returned unchanged.
+pub fn supersample_edges(graph: &Graph, target_edges: usize, seed: u64) -> Result<Graph> {
+    let n = graph.num_nodes();
+    let mut edges: Vec<(usize, usize)> = graph.edges().collect();
+    if edges.len() >= target_edges || n < 2 {
+        return Graph::from_edges(n, &edges);
+    }
+    let max_possible = n * (n - 1) / 2;
+    let target = target_edges.min(max_possible);
+    let mut existing: std::collections::HashSet<(usize, usize)> = edges.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    while existing.len() < target {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if existing.insert(key) {
+            edges.push(key);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Rescales the graph to approximately `target_edges` edges, subsampling or
+/// supersampling as needed. This is the entry point used by the Fig. 5
+/// bench to build the `{3·10^8 / 2.5^i}` family (scaled down).
+pub fn rescale_edges(graph: &Graph, target_edges: usize, seed: u64) -> Result<Graph> {
+    if target_edges <= graph.num_edges() {
+        subsample_edges(graph, target_edges, seed)
+    } else {
+        supersample_edges(graph, target_edges, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_seed_graph(n: usize) -> Graph {
+        // Ring plus chords: enough edges to subsample meaningfully.
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n));
+            edges.push((i, (i + 2) % n));
+        }
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn subsample_hits_target() {
+        let g = dense_seed_graph(50);
+        let sub = subsample_edges(&g, 30, 7).unwrap();
+        assert_eq!(sub.num_edges(), 30);
+        assert_eq!(sub.num_nodes(), 50);
+        // Every sampled edge existed in the original graph.
+        for (u, v) in sub.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn subsample_with_large_target_is_identity() {
+        let g = dense_seed_graph(20);
+        let sub = subsample_edges(&g, 10_000, 3).unwrap();
+        assert_eq!(sub.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn supersample_hits_target_without_duplicates() {
+        let g = dense_seed_graph(30);
+        let original = g.num_edges();
+        let sup = supersample_edges(&g, original + 40, 11).unwrap();
+        assert_eq!(sup.num_edges(), original + 40);
+        // Original edges are preserved.
+        for (u, v) in g.edges() {
+            assert!(sup.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn supersample_caps_at_complete_graph() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let sup = supersample_edges(&g, 1000, 5).unwrap();
+        assert_eq!(sup.num_edges(), 6); // complete graph on 4 nodes
+    }
+
+    #[test]
+    fn rescale_dispatches_both_ways() {
+        let g = dense_seed_graph(40);
+        let m = g.num_edges();
+        let smaller = rescale_edges(&g, m / 2, 1).unwrap();
+        assert_eq!(smaller.num_edges(), m / 2);
+        let larger = rescale_edges(&g, m + 25, 1).unwrap();
+        assert_eq!(larger.num_edges(), m + 25);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = dense_seed_graph(40);
+        let a = subsample_edges(&g, 20, 42).unwrap();
+        let b = subsample_edges(&g, 20, 42).unwrap();
+        assert_eq!(a, b);
+        let c = subsample_edges(&g, 20, 43).unwrap();
+        assert!(a != c || a.num_edges() == c.num_edges());
+    }
+}

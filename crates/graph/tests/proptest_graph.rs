@@ -1,0 +1,113 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use sigma_graph::{
+    edge_homophily, node_homophily, rescale_edges, row_normalized_adjacency,
+    sym_normalized_adjacency, Graph,
+};
+
+const MAX_NODES: usize = 24;
+
+fn edge_list() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..MAX_NODES).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec((0..n, 0..n), 0..n * 3),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn construction_invariants((n, edges) in edge_list()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        prop_assert_eq!(g.num_nodes(), n);
+        // Sum of degrees is twice the edge count.
+        let degree_sum: usize = (0..n).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // Neighbor lists are sorted, deduplicated, and never contain self loops.
+        for v in 0..n {
+            let neigh = g.neighbors(v);
+            for w in neigh.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert!(!neigh.contains(&(v as u32)));
+        }
+        // Symmetry: u in N(v) iff v in N(u).
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                prop_assert!(g.has_edge(u as usize, v));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_matrix_is_symmetric((n, edges) in edge_list()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let a = g.to_adjacency();
+        prop_assert_eq!(a.nnz(), g.num_arcs());
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(a.get(u, v), a.get(v, u));
+                prop_assert_eq!(a.get(u, v) != 0.0, g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn homophily_is_a_probability((n, edges) in edge_list(), labels_seed in prop::collection::vec(0usize..4, MAX_NODES)) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let labels: Vec<usize> = (0..n).map(|i| labels_seed[i % labels_seed.len()]).collect();
+        if g.num_edges() > 0 {
+            let h_node = node_homophily(&g, &labels).unwrap();
+            let h_edge = edge_homophily(&g, &labels).unwrap();
+            prop_assert!((0.0..=1.0).contains(&h_node));
+            prop_assert!((0.0..=1.0).contains(&h_edge));
+        }
+    }
+
+    #[test]
+    fn constant_labels_give_full_homophily((n, edges) in edge_list()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        if g.num_edges() > 0 {
+            let labels = vec![0usize; n];
+            prop_assert!((node_homophily(&g, &labels).unwrap() - 1.0).abs() < 1e-9);
+            prop_assert!((edge_homophily(&g, &labels).unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_operators_have_bounded_rows((n, edges) in edge_list()) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let p = row_normalized_adjacency(&g);
+        for (v, sum) in p.row_sums().iter().enumerate() {
+            if g.degree(v) > 0 {
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+            } else {
+                prop_assert_eq!(*sum, 0.0);
+            }
+        }
+        let a_hat = sym_normalized_adjacency(&g);
+        // Row sums of Â are at most slightly above 1 and every value is in (0, 1].
+        for v in 0..n {
+            for (_, val) in a_hat.row_iter(v) {
+                prop_assert!(val > 0.0 && val <= 1.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn rescale_edges_hits_target((n, edges) in edge_list(), frac in 0.1f64..2.0, seed in 0u64..100) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let max_possible = n * (n - 1) / 2;
+        let target = ((g.num_edges() as f64 * frac) as usize).clamp(1, max_possible);
+        let rescaled = rescale_edges(&g, target, seed).unwrap();
+        prop_assert_eq!(rescaled.num_nodes(), n);
+        prop_assert_eq!(rescaled.num_edges(), target.min(max_possible));
+    }
+}

@@ -1,0 +1,651 @@
+use crate::{DenseMatrix, MatrixError, Result};
+
+/// A compressed sparse row (CSR) `f32` matrix.
+///
+/// In the SIGMA reproduction, `CsrMatrix` represents every *constant
+/// propagation operator*: the (normalized) adjacency matrix, the top-k
+/// pruned SimRank matrix `S`, and top-k Personalized PageRank matrices.
+/// The two kernels that dominate training cost are [`CsrMatrix::spmm`]
+/// (`S·H` in the forward pass) and [`CsrMatrix::spmm_transpose`]
+/// (`Sᵀ·dZ` in the backward pass); both run in `O(nnz · f)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed. Entries equal to zero are kept out
+    /// of the structure. Returns an error if any coordinate is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+        for &(r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(MatrixError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    shape: (rows, cols),
+                });
+            }
+            if !v.is_finite() {
+                return Err(MatrixError::NonFiniteValue { op: "from_triplets" });
+            }
+        }
+        // Sort triplet positions by (row, col) so rows are contiguous and
+        // duplicates are adjacent.
+        let mut order: Vec<usize> = (0..triplets.len()).collect();
+        order.sort_unstable_by_key(|&i| (triplets[i].0, triplets[i].1));
+
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices: Vec<u32> = Vec::with_capacity(triplets.len());
+        let mut values: Vec<f32> = Vec::with_capacity(triplets.len());
+        let mut current_row = 0usize;
+        for &idx in &order {
+            let (r, c, v) = triplets[idx];
+            while current_row < r {
+                current_row += 1;
+                indptr[current_row] = indices.len();
+            }
+            // Merge duplicates within the same row.
+            if let Some(last) = indices.last() {
+                if indptr[current_row] < indices.len()
+                    && *last as usize == c
+                    && indices.len() > indptr[r]
+                {
+                    *values.last_mut().expect("values parallel to indices") += v;
+                    continue;
+                }
+            }
+            if v != 0.0 {
+                indices.push(c as u32);
+                values.push(v);
+            }
+        }
+        while current_row < rows {
+            current_row += 1;
+            indptr[current_row] = indices.len();
+        }
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Builds a CSR matrix directly from raw components.
+    ///
+    /// `indptr` must have length `rows + 1`, be non-decreasing, start at 0 and
+    /// end at `indices.len()`; column indices must be `< cols` and sorted
+    /// within each row. This is the fast path used by graph/SimRank builders
+    /// that already produce CSR layout.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        if indptr.len() != rows + 1
+            || indptr.first().copied().unwrap_or(1) != 0
+            || indptr.last().copied().unwrap_or(0) != indices.len()
+            || indices.len() != values.len()
+        {
+            return Err(MatrixError::InvalidShape {
+                rows,
+                cols,
+                len: indices.len(),
+            });
+        }
+        for w in indptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(MatrixError::InvalidShape {
+                    rows,
+                    cols,
+                    len: indices.len(),
+                });
+            }
+        }
+        for &c in &indices {
+            if c as usize >= cols {
+                return Err(MatrixError::IndexOutOfBounds {
+                    row: 0,
+                    col: c as usize,
+                    shape: (rows, cols),
+                });
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Identity operator of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Raw row pointer array (length `rows + 1`).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Raw column index array.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Raw value array.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterator over `(col, value)` pairs of one row.
+    pub fn row_iter(&self, row: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let start = self.indptr[row];
+        let end = self.indptr[row + 1];
+        self.indices[start..end]
+            .iter()
+            .zip(self.values[start..end].iter())
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Number of stored entries in one row.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.indptr[row + 1] - self.indptr[row]
+    }
+
+    /// Value at `(row, col)`, or 0.0 if not stored.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        if row >= self.rows || col >= self.cols {
+            return 0.0;
+        }
+        self.row_iter(row)
+            .find(|&(c, _)| c == col)
+            .map(|(_, v)| v)
+            .unwrap_or(0.0)
+    }
+
+    /// Sum of each row's values.
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|r| self.row_iter(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Scales every row `r` by `factors[r]` in place.
+    pub fn scale_rows(&mut self, factors: &[f32]) -> Result<()> {
+        if factors.len() != self.rows {
+            return Err(MatrixError::InvalidShape {
+                rows: self.rows,
+                cols: 1,
+                len: factors.len(),
+            });
+        }
+        for r in 0..self.rows {
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            for v in &mut self.values[start..end] {
+                *v *= factors[r];
+            }
+        }
+        Ok(())
+    }
+
+    /// Multiplies all stored values by `s`.
+    pub fn scale(&mut self, s: f32) {
+        self.values.iter_mut().for_each(|v| *v *= s);
+    }
+
+    /// Sparse × dense product: `self · rhs`.
+    pub fn spmm(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != rhs.rows() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "spmm",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let f = rhs.cols();
+        let mut out = DenseMatrix::zeros(self.rows, f);
+        for r in 0..self.rows {
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            let out_row = out.row_mut(r);
+            for idx in start..end {
+                let c = self.indices[idx] as usize;
+                let v = self.values[idx];
+                let rhs_row = rhs.row(c);
+                for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += v * x;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed sparse × dense product: `selfᵀ · rhs`.
+    ///
+    /// Implemented as a scatter over rows of `self`, avoiding an explicit
+    /// transpose; used for backpropagation through constant operators.
+    pub fn spmm_transpose(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.rows != rhs.rows() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "spmm_transpose",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let f = rhs.cols();
+        let mut out = DenseMatrix::zeros(self.cols, f);
+        for r in 0..self.rows {
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            let rhs_row = rhs.row(r);
+            for idx in start..end {
+                let c = self.indices[idx] as usize;
+                let v = self.values[idx];
+                let out_row = out.row_mut(c);
+                for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += v * x;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sparse × sparse product `self · rhs`, returned as CSR.
+    ///
+    /// Used to form multi-hop operators such as `Â²` (H2GCN / MixHop) and
+    /// `S·A` (the localized SIGMA ablation of Table VIII).
+    pub fn spgemm(&self, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::DimensionMismatch {
+                op: "spgemm",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
+        // Dense accumulator reused across rows (classic Gustavson algorithm).
+        let mut acc = vec![0.0f32; rhs.cols];
+        let mut touched: Vec<u32> = Vec::new();
+        for r in 0..self.rows {
+            touched.clear();
+            for (k, v) in self.row_iter(r) {
+                let (start, end) = (rhs.indptr[k], rhs.indptr[k + 1]);
+                for idx in start..end {
+                    let c = rhs.indices[idx];
+                    if acc[c as usize] == 0.0 {
+                        touched.push(c);
+                    }
+                    acc[c as usize] += v * rhs.values[idx];
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                let v = acc[c as usize];
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+                acc[c as usize] = 0.0;
+            }
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        for r in 0..self.rows {
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[idx] as usize;
+                let pos = indptr[c];
+                indices[pos] = r as u32;
+                values[pos] = self.values[idx];
+                indptr[c] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr: counts,
+            indices,
+            values,
+        }
+    }
+
+    /// Keeps only the `k` largest-magnitude entries of each row.
+    ///
+    /// This is the top-k pruning scheme SIGMA applies to the approximate
+    /// SimRank matrix to obtain an `O(kn)` aggregation operator.
+    pub fn top_k_per_row(&self, k: usize) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
+        let mut row_buf: Vec<(u32, f32)> = Vec::new();
+        for r in 0..self.rows {
+            row_buf.clear();
+            row_buf.extend(self.row_iter(r).map(|(c, v)| (c as u32, v)));
+            if row_buf.len() > k {
+                row_buf.sort_unstable_by(|a, b| {
+                    b.1.abs()
+                        .partial_cmp(&a.1.abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                row_buf.truncate(k);
+            }
+            row_buf.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &row_buf {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Normalizes every row to sum to one (rows with zero sum are left empty).
+    pub fn row_normalize(&mut self) {
+        for r in 0..self.rows {
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            let sum: f32 = self.values[start..end].iter().sum();
+            if sum != 0.0 {
+                for v in &mut self.values[start..end] {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// Converts to a dense matrix. Intended for tests and small graphs only.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c, out.get(r, c) + v);
+            }
+        }
+        out
+    }
+
+    /// Converts a dense matrix to CSR, dropping entries with `|v| <= threshold`.
+    pub fn from_dense(dense: &DenseMatrix, threshold: f32) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(dense.rows() + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..dense.rows() {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v.abs() > threshold {
+                    indices.push(c as u32);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Frobenius norm of the stored values.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Average number of stored entries per row.
+    pub fn avg_row_nnz(&self) -> f32 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nnz() as f32 / self.rows as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[0, 2, 0],
+        //  [1, 0, 3],
+        //  [0, 0, 0]]
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn from_triplets_basic() {
+        let m = sample();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.get(2, 2), 0.0);
+        assert_eq!(m.row_nnz(0), 1);
+        assert_eq!(m.row_nnz(2), 0);
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds_and_nan() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 0, f32::NAN)]).is_err());
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        // wrong indptr length
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // decreasing indptr
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // column out of range
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let i = CsrMatrix::identity(3);
+        let x = DenseMatrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let y = i.spmm(&x).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let m = sample();
+        let x = DenseMatrix::from_fn(3, 2, |r, c| (r + c) as f32 + 0.5);
+        let sparse = m.spmm(&x).unwrap();
+        let dense = m.to_dense().matmul(&x).unwrap();
+        for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spmm_transpose_matches_dense() {
+        let m = sample();
+        let x = DenseMatrix::from_fn(3, 2, |r, c| (2 * r + c) as f32);
+        let sparse = m.spmm_transpose(&x).unwrap();
+        let dense = m.to_dense().transpose().matmul(&x).unwrap();
+        for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spmm_dimension_mismatch() {
+        let m = sample();
+        let x = DenseMatrix::zeros(4, 2);
+        assert!(m.spmm(&x).is_err());
+        assert!(m.spmm_transpose(&x).is_err());
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a = sample();
+        let b = CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, -1.0)]).unwrap();
+        let c = a.spgemm(&b).unwrap();
+        let dense = a.to_dense().matmul(&b.to_dense()).unwrap();
+        for r in 0..3 {
+            for col in 0..2 {
+                assert!((c.get(r, col) - dense.get(r, col)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 3));
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(t.get(0, 1), 1.0);
+        assert_eq!(t.get(2, 1), 3.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn top_k_keeps_largest_magnitude() {
+        let m = CsrMatrix::from_triplets(
+            1,
+            5,
+            &[(0, 0, 0.1), (0, 1, -0.9), (0, 2, 0.5), (0, 3, 0.2), (0, 4, 0.05)],
+        )
+        .unwrap();
+        let pruned = m.top_k_per_row(2);
+        assert_eq!(pruned.nnz(), 2);
+        assert_eq!(pruned.get(0, 1), -0.9);
+        assert_eq!(pruned.get(0, 2), 0.5);
+        assert_eq!(pruned.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn top_k_larger_than_row_is_noop() {
+        let m = sample();
+        assert_eq!(m.top_k_per_row(10), m);
+    }
+
+    #[test]
+    fn row_normalize_sums_to_one() {
+        let mut m = sample();
+        m.row_normalize();
+        let sums = m.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-6);
+        assert!((sums[1] - 1.0).abs() < 1e-6);
+        assert_eq!(sums[2], 0.0);
+    }
+
+    #[test]
+    fn scale_rows_and_scale() {
+        let mut m = sample();
+        m.scale_rows(&[2.0, 0.5, 1.0]).unwrap();
+        assert_eq!(m.get(0, 1), 4.0);
+        assert_eq!(m.get(1, 2), 1.5);
+        m.scale(2.0);
+        assert_eq!(m.get(0, 1), 8.0);
+        assert!(m.scale_rows(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = sample();
+        let d = m.to_dense();
+        let back = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_dense_threshold_drops_small() {
+        let d = DenseMatrix::from_rows(&[&[0.001, 1.0], &[0.0, -0.002]]).unwrap();
+        let s = CsrMatrix::from_dense(&d, 0.01);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let m = sample();
+        assert!((m.frobenius_norm() - (4.0f32 + 1.0 + 9.0).sqrt()).abs() < 1e-6);
+        assert!((m.avg_row_nnz() - 1.0).abs() < 1e-6);
+        assert_eq!(CsrMatrix::identity(0).avg_row_nnz(), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+use std::fmt;
+
+/// Errors produced by matrix constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A constructor received data whose length does not match `rows * cols`.
+    InvalidShape {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+        /// Length of the provided buffer.
+        len: usize,
+    },
+    /// A sparse-matrix triplet referenced a row or column outside the matrix.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// A non-finite (NaN or infinite) value was encountered where finite data is required.
+    NonFiniteValue {
+        /// Name of the operation that detected the value.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::InvalidShape { rows, cols, len } => write!(
+                f,
+                "invalid shape: {rows}x{cols} requires {} elements but buffer has {len}",
+                rows * cols
+            ),
+            MatrixError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {}x{} matrix",
+                shape.0, shape.1
+            ),
+            MatrixError::NonFiniteValue { op } => {
+                write!(f, "non-finite value encountered in {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = MatrixError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_invalid_shape() {
+        let e = MatrixError::InvalidShape {
+            rows: 2,
+            cols: 2,
+            len: 3,
+        };
+        assert!(e.to_string().contains("4 elements"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = MatrixError::IndexOutOfBounds {
+            row: 7,
+            col: 1,
+            shape: (3, 3),
+        };
+        assert!(e.to_string().contains("(7, 1)"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<MatrixError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! # sigma-matrix
+//!
+//! Dense and sparse (CSR) linear-algebra substrate for the SIGMA reproduction.
+//!
+//! The SIGMA paper's computations decompose into a small set of kernels:
+//!
+//! * dense GEMM for MLP layers (`H = X·W`),
+//! * sparse-dense SpMM for propagation operators (`Z = S·H`, `Â·H`, `Π_ppr·H`),
+//! * transposed SpMM for backpropagation through constant operators (`dH = Sᵀ·dZ`),
+//! * element-wise maps and reductions for activations, losses and metrics.
+//!
+//! This crate implements exactly those kernels on two container types,
+//! [`DenseMatrix`] (row-major `f32`) and [`CsrMatrix`] (compressed sparse row),
+//! with no external BLAS dependency. Downstream crates (`sigma-graph`,
+//! `sigma-nn`, `sigma-simrank`, `sigma`) build every model and experiment on
+//! top of these types.
+//!
+//! ## Example
+//!
+//! ```
+//! use sigma_matrix::{DenseMatrix, CsrMatrix};
+//!
+//! // A 2x3 dense matrix and a sparse 2x2 adjacency-like operator.
+//! let h = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+//! let s = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+//! let z = s.spmm(&h).unwrap();
+//! assert_eq!(z.row(0), &[4.0, 5.0, 6.0]);
+//! assert_eq!(z.row(1), &[1.0, 2.0, 3.0]);
+//! ```
+
+#![deny(missing_docs)]
+
+mod csr;
+mod dense;
+mod error;
+
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::MatrixError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MatrixError>;

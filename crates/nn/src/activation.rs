@@ -1,0 +1,155 @@
+//! Activation functions and dropout, with explicit backward passes.
+
+use rand::Rng;
+use sigma_matrix::DenseMatrix;
+
+/// ReLU applied element-wise, returning the activated matrix.
+///
+/// The *input* matrix (pre-activation) must be kept by the caller to compute
+/// the backward pass with [`relu_backward`].
+pub fn relu_forward(x: &DenseMatrix) -> DenseMatrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward pass of ReLU: zeroes gradient entries where the forward input
+/// was non-positive. `pre_activation` is the matrix that was passed to
+/// [`relu_forward`].
+pub fn relu_backward(grad_output: &DenseMatrix, pre_activation: &DenseMatrix) -> DenseMatrix {
+    debug_assert_eq!(grad_output.shape(), pre_activation.shape());
+    let mut grad = grad_output.clone();
+    for (g, &x) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pre_activation.as_slice().iter())
+    {
+        if x <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    grad
+}
+
+/// The random keep/drop mask produced by [`dropout_forward`], needed for the
+/// backward pass.
+#[derive(Debug, Clone)]
+pub struct DropoutMask {
+    /// Per-element multiplier: either `0.0` (dropped) or `1/(1-p)` (kept,
+    /// inverted-dropout scaling).
+    pub scale: Vec<f32>,
+}
+
+impl DropoutMask {
+    /// Applies the mask to a gradient (backward pass of dropout).
+    pub fn backward(&self, grad_output: &DenseMatrix) -> DenseMatrix {
+        let mut grad = grad_output.clone();
+        for (g, &s) in grad.as_mut_slice().iter_mut().zip(self.scale.iter()) {
+            *g *= s;
+        }
+        grad
+    }
+}
+
+/// Inverted dropout.
+///
+/// With probability `p` each element is zeroed; kept elements are scaled by
+/// `1/(1-p)` so the expected activation is unchanged. When `training` is
+/// false (or `p == 0`) the input is returned untouched with an all-ones mask.
+pub fn dropout_forward<R: Rng + ?Sized>(
+    x: &DenseMatrix,
+    p: f32,
+    training: bool,
+    rng: &mut R,
+) -> (DenseMatrix, DropoutMask) {
+    let len = x.as_slice().len();
+    if !training || p <= 0.0 {
+        return (
+            x.clone(),
+            DropoutMask {
+                scale: vec![1.0; len],
+            },
+        );
+    }
+    let p = p.min(0.99);
+    let keep_scale = 1.0 / (1.0 - p);
+    let mut out = x.clone();
+    let mut scale = vec![0.0f32; len];
+    for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+        if rng.gen::<f32>() < p {
+            *v = 0.0;
+        } else {
+            *v *= keep_scale;
+            scale[i] = keep_scale;
+        }
+    }
+    (out, DropoutMask { scale })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = DenseMatrix::from_rows(&[&[-1.0, 0.0, 2.0]]).unwrap();
+        let y = relu_forward(&x);
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = DenseMatrix::from_rows(&[&[-1.0, 0.5, 0.0]]).unwrap();
+        let dy = DenseMatrix::from_rows(&[&[3.0, 3.0, 3.0]]).unwrap();
+        let dx = relu_backward(&dy, &x);
+        assert_eq!(dx.row(0), &[0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = DenseMatrix::filled(4, 4, 2.0);
+        let (y, mask) = dropout_forward(&x, 0.5, false, &mut rng);
+        assert_eq!(y, x);
+        assert!(mask.scale.iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = DenseMatrix::filled(2, 3, 1.5);
+        let (y, _) = dropout_forward(&x, 0.0, true, &mut rng);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_scales_kept_elements_and_preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = DenseMatrix::filled(50, 50, 1.0);
+        let (y, mask) = dropout_forward(&x, 0.4, true, &mut rng);
+        // Kept entries are scaled by 1/(1-p).
+        let keep_scale = 1.0 / 0.6;
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - keep_scale).abs() < 1e-6);
+        }
+        // Expectation approximately preserved.
+        assert!((y.mean() - 1.0).abs() < 0.1);
+        // Mask matches the kept/dropped pattern.
+        for (&v, &s) in y.as_slice().iter().zip(mask.scale.iter()) {
+            assert_eq!(v == 0.0, s == 0.0);
+        }
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = DenseMatrix::filled(10, 10, 1.0);
+        let (y, mask) = dropout_forward(&x, 0.5, true, &mut rng);
+        let dy = DenseMatrix::filled(10, 10, 1.0);
+        let dx = mask.backward(&dy);
+        // Gradient is zero exactly where the forward output was dropped.
+        for (&g, &v) in dx.as_slice().iter().zip(y.as_slice().iter()) {
+            assert_eq!(g == 0.0, v == 0.0);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Weight initialisation.
+//!
+//! Xavier (Glorot) uniform initialisation is used for every linear layer,
+//! matching common GNN practice; He initialisation is provided for
+//! ReLU-heavy stacks.
+
+use rand::Rng;
+use sigma_matrix::DenseMatrix;
+
+/// Xavier/Glorot uniform initialisation: entries drawn from
+/// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> DenseMatrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    DenseMatrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..=a))
+}
+
+/// He (Kaiming) uniform initialisation: entries drawn from
+/// `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+pub fn he_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> DenseMatrix {
+    let a = (6.0 / fan_in.max(1) as f64).sqrt() as f32;
+    DenseMatrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..=a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_and_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(64, 32, &mut rng);
+        assert_eq!(w.shape(), (64, 32));
+        let a = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(w.as_slice().iter().all(|v| v.abs() <= a + 1e-6));
+        // Not all zeros.
+        assert!(w.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = he_uniform(25, 4, &mut rng);
+        let a = (6.0f64 / 25.0).sqrt() as f32;
+        assert!(w.as_slice().iter().all(|v| v.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        assert_eq!(xavier_uniform(8, 8, &mut r1), xavier_uniform(8, 8, &mut r2));
+    }
+
+    #[test]
+    fn mean_is_near_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = xavier_uniform(100, 100, &mut rng);
+        assert!(w.mean().abs() < 0.01);
+    }
+}

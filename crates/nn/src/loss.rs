@@ -1,0 +1,179 @@
+//! Losses and classification metrics.
+//!
+//! Node classification in the paper is trained with cross-entropy over the
+//! training split only; the remaining nodes still participate in propagation
+//! but contribute no loss. [`softmax_cross_entropy_masked`] therefore takes
+//! an explicit index set and returns a full-sized gradient matrix with zero
+//! rows outside the mask.
+
+use crate::{NnError, Result};
+use sigma_matrix::DenseMatrix;
+
+/// Masked softmax cross-entropy.
+///
+/// * `logits` — `n × C` raw scores,
+/// * `labels` — length-`n` class ids (`< C`),
+/// * `mask` — node indices contributing to the loss (e.g. the training set).
+///
+/// Returns `(mean_loss, dlogits)` where `dlogits` has shape `n × C`, equals
+/// `(softmax(logits) - onehot(label)) / |mask|` on masked rows and zero
+/// elsewhere.
+pub fn softmax_cross_entropy_masked(
+    logits: &DenseMatrix,
+    labels: &[usize],
+    mask: &[usize],
+) -> Result<(f32, DenseMatrix)> {
+    let (n, c) = logits.shape();
+    if labels.len() != n {
+        return Err(NnError::InvalidLabels {
+            reason: format!("labels length {} does not match logits rows {}", labels.len(), n),
+        });
+    }
+    if mask.is_empty() {
+        return Err(NnError::InvalidLabels {
+            reason: "mask is empty".to_string(),
+        });
+    }
+    for &i in mask {
+        if i >= n {
+            return Err(NnError::InvalidLabels {
+                reason: format!("mask index {i} out of range for {n} nodes"),
+            });
+        }
+        if labels[i] >= c {
+            return Err(NnError::InvalidLabels {
+                reason: format!("label {} out of range for {} classes", labels[i], c),
+            });
+        }
+    }
+
+    let probs = logits.softmax_rows();
+    let scale = 1.0 / mask.len() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = DenseMatrix::zeros(n, c);
+    for &i in mask {
+        let y = labels[i];
+        let p = probs.get(i, y).max(1e-12);
+        loss -= p.ln();
+        let grow = grad.row_mut(i);
+        for (j, g) in grow.iter_mut().enumerate() {
+            let indicator = if j == y { 1.0 } else { 0.0 };
+            *g = (probs.get(i, j) - indicator) * scale;
+        }
+    }
+    Ok((loss * scale, grad))
+}
+
+/// Classification accuracy over `mask`: fraction of nodes whose argmax logit
+/// equals the label.
+pub fn accuracy(logits: &DenseMatrix, labels: &[usize], mask: &[usize]) -> Result<f32> {
+    let n = logits.rows();
+    if labels.len() != n {
+        return Err(NnError::InvalidLabels {
+            reason: format!("labels length {} does not match logits rows {}", labels.len(), n),
+        });
+    }
+    if mask.is_empty() {
+        return Err(NnError::InvalidLabels {
+            reason: "mask is empty".to_string(),
+        });
+    }
+    let preds = logits.argmax_rows();
+    let mut correct = 0usize;
+    for &i in mask {
+        if i >= n {
+            return Err(NnError::InvalidLabels {
+                reason: format!("mask index {i} out of range for {n} nodes"),
+            });
+        }
+        if preds[i] == labels[i] {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / mask.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_logits_give_small_loss_and_full_accuracy() {
+        let logits = DenseMatrix::from_rows(&[&[10.0, -10.0], &[-10.0, 10.0]]).unwrap();
+        let labels = vec![0, 1];
+        let mask = vec![0, 1];
+        let (loss, grad) = softmax_cross_entropy_masked(&logits, &labels, &mask).unwrap();
+        assert!(loss < 1e-3);
+        assert!(grad.frobenius_norm() < 1e-3);
+        assert_eq!(accuracy(&logits, &labels, &mask).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = DenseMatrix::zeros(3, 4);
+        let labels = vec![0, 1, 2];
+        let mask = vec![0, 1, 2];
+        let (loss, _) = softmax_cross_entropy_masked(&logits, &labels, &mask).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = DenseMatrix::from_rows(&[&[0.3, -0.7, 1.2], &[0.1, 0.4, -0.2]]).unwrap();
+        let labels = vec![2, 0];
+        let mask = vec![0, 1];
+        let (_, grad) = softmax_cross_entropy_masked(&logits, &labels, &mask).unwrap();
+        let eps = 1e-3;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = logits.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let (lp, _) = softmax_cross_entropy_masked(&plus, &labels, &mask).unwrap();
+                let mut minus = logits.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let (lm, _) = softmax_cross_entropy_masked(&minus, &labels, &mask).unwrap();
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (grad.get(r, c) - numeric).abs() < 1e-3,
+                    "mismatch at ({r},{c}): {} vs {}",
+                    grad.get(r, c),
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_is_zero_outside_mask() {
+        let logits = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.5], &[0.0, 1.0]]).unwrap();
+        let labels = vec![0, 0, 1];
+        let mask = vec![0];
+        let (_, grad) = softmax_cross_entropy_masked(&logits, &labels, &mask).unwrap();
+        assert!(grad.row(1).iter().all(|&v| v == 0.0));
+        assert!(grad.row(2).iter().all(|&v| v == 0.0));
+        assert!(grad.row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let logits = DenseMatrix::zeros(2, 2);
+        assert!(softmax_cross_entropy_masked(&logits, &[0], &[0]).is_err());
+        assert!(softmax_cross_entropy_masked(&logits, &[0, 1], &[]).is_err());
+        assert!(softmax_cross_entropy_masked(&logits, &[0, 1], &[5]).is_err());
+        assert!(softmax_cross_entropy_masked(&logits, &[0, 7], &[1]).is_err());
+        assert!(accuracy(&logits, &[0], &[0]).is_err());
+        assert!(accuracy(&logits, &[0, 1], &[]).is_err());
+        assert!(accuracy(&logits, &[0, 1], &[9]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_partial_correctness() {
+        let logits = DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let labels = vec![0, 1, 1, 0];
+        let acc = accuracy(&logits, &labels, &[0, 1, 2, 3]).unwrap();
+        assert!((acc - 0.5).abs() < 1e-6);
+        // Accuracy restricted to correctly-classified subset.
+        let acc_sub = accuracy(&logits, &labels, &[0, 2]).unwrap();
+        assert_eq!(acc_sub, 1.0);
+    }
+}

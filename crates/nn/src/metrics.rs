@@ -1,0 +1,215 @@
+//! Classification metrics beyond plain accuracy.
+//!
+//! The paper reports accuracy everywhere, but several of its datasets are
+//! two-class and imbalanced (genius is ~80/20), where macro-F1 and the
+//! confusion matrix are the standard companions. These are provided for the
+//! examples and for users evaluating SIGMA on their own data.
+
+use crate::{NnError, Result};
+use sigma_matrix::DenseMatrix;
+
+/// A `C × C` confusion matrix: `counts[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix for `logits` against `labels`, restricted
+    /// to the node indices in `mask`.
+    pub fn from_logits(
+        logits: &DenseMatrix,
+        labels: &[usize],
+        mask: &[usize],
+    ) -> Result<ConfusionMatrix> {
+        let num_classes = logits.cols();
+        if labels.len() != logits.rows() {
+            return Err(NnError::InvalidLabels {
+                reason: format!(
+                    "label count {} does not match logit rows {}",
+                    labels.len(),
+                    logits.rows()
+                ),
+            });
+        }
+        let predictions = logits.argmax_rows();
+        let mut counts = vec![vec![0usize; num_classes]; num_classes];
+        for &idx in mask {
+            if idx >= labels.len() {
+                return Err(NnError::InvalidLabels {
+                    reason: format!("mask index {idx} out of range for {} nodes", labels.len()),
+                });
+            }
+            let truth = labels[idx];
+            if truth >= num_classes {
+                return Err(NnError::InvalidLabels {
+                    reason: format!("label {truth} out of range for {num_classes} classes"),
+                });
+            }
+            counts[truth][predictions[idx]] += 1;
+        }
+        Ok(ConfusionMatrix { counts })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of nodes with true class `truth` predicted as `predicted`.
+    pub fn get(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth][predicted]
+    }
+
+    /// Total number of evaluated nodes.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Overall accuracy (diagonal mass over total); 0 if the mask was empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.num_classes()).map(|c| self.counts[c][c]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of one class (0 when the class is never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: usize = (0..self.num_classes()).map(|t| self.counts[t][class]).sum();
+        if predicted == 0 {
+            return 0.0;
+        }
+        self.counts[class][class] as f64 / predicted as f64
+    }
+
+    /// Recall of one class (0 when the class never occurs).
+    pub fn recall(&self, class: usize) -> f64 {
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            return 0.0;
+        }
+        self.counts[class][class] as f64 / actual as f64
+    }
+
+    /// F1 score of one class.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        let c = self.num_classes();
+        if c == 0 {
+            return 0.0;
+        }
+        (0..c).map(|class| self.f1(class)).sum::<f64>() / c as f64
+    }
+}
+
+/// Convenience wrapper: macro-F1 straight from logits.
+pub fn macro_f1(logits: &DenseMatrix, labels: &[usize], mask: &[usize]) -> Result<f64> {
+    Ok(ConfusionMatrix::from_logits(logits, labels, mask)?.macro_f1())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits_for(predictions: &[usize], num_classes: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(predictions.len(), num_classes, |i, j| {
+            if predictions[i] == j {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn perfect_predictions_give_perfect_scores() {
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let logits = logits_for(&labels, 3);
+        let mask: Vec<usize> = (0..6).collect();
+        let cm = ConfusionMatrix::from_logits(&logits, &labels, &mask).unwrap();
+        assert_eq!(cm.total(), 6);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        for c in 0..3 {
+            assert_eq!(cm.precision(c), 1.0);
+            assert_eq!(cm.recall(c), 1.0);
+            assert_eq!(cm.get(c, c), 2);
+        }
+    }
+
+    #[test]
+    fn known_confusion_matrix_values() {
+        // truth:      0 0 0 1 1
+        // prediction: 0 1 0 1 0
+        let labels = vec![0, 0, 0, 1, 1];
+        let logits = logits_for(&[0, 1, 0, 1, 0], 2);
+        let mask: Vec<usize> = (0..5).collect();
+        let cm = ConfusionMatrix::from_logits(&logits, &labels, &mask).unwrap();
+        assert_eq!(cm.get(0, 0), 2);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 0), 1);
+        assert_eq!(cm.get(1, 1), 1);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(1) - 0.5).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.5).abs() < 1e-12);
+        let expected_macro = (2.0 / 3.0 + 0.5) / 2.0;
+        assert!((cm.macro_f1() - expected_macro).abs() < 1e-12);
+        assert!((macro_f1(&logits, &labels, &mask).unwrap() - expected_macro).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_restricts_the_evaluation() {
+        let labels = vec![0, 0, 1, 1];
+        let logits = logits_for(&[0, 1, 1, 0], 2);
+        let cm = ConfusionMatrix::from_logits(&logits, &labels, &[0, 2]).unwrap();
+        assert_eq!(cm.total(), 2);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn empty_mask_is_harmless() {
+        let labels = vec![0, 1];
+        let logits = logits_for(&[0, 1], 2);
+        let cm = ConfusionMatrix::from_logits(&logits, &labels, &[]).unwrap();
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn never_predicted_class_has_zero_precision_and_f1() {
+        let labels = vec![0, 1, 1];
+        let logits = logits_for(&[0, 0, 0], 2);
+        let cm = ConfusionMatrix::from_logits(&logits, &labels, &[0, 1, 2]).unwrap();
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.f1(1), 0.0);
+        assert!(cm.macro_f1() < cm.accuracy());
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let labels = vec![0, 1];
+        let logits = logits_for(&[0, 1, 0], 2);
+        assert!(ConfusionMatrix::from_logits(&logits, &labels, &[0]).is_err());
+        let labels = vec![0, 1, 5];
+        assert!(ConfusionMatrix::from_logits(&logits, &labels, &[2]).is_err());
+        let labels = vec![0, 1, 1];
+        assert!(ConfusionMatrix::from_logits(&logits, &labels, &[9]).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains every model with a fixed learning rate from the Table VI
+//! grid, but the convergence study (Fig. 4) and the larger reproduction runs
+//! benefit from standard decay schedules. A [`LrSchedule`] is a pure function
+//! from the epoch index to a multiplier on the base learning rate; the
+//! trainer applies it by scaling the optimizer's learning rate each epoch.
+
+/// A learning-rate schedule: maps an epoch index to a multiplier in `(0, 1]`
+/// applied to the base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate (the paper's setting).
+    Constant,
+    /// Multiply the rate by `gamma` every `step_size` epochs.
+    StepDecay {
+        /// Number of epochs between decays (must be ≥ 1).
+        step_size: usize,
+        /// Per-step multiplier in `(0, 1]`.
+        gamma: f64,
+    },
+    /// Cosine annealing from 1 down to `min_factor` over `total_epochs`.
+    CosineAnnealing {
+        /// Length of the annealing horizon (must be ≥ 1).
+        total_epochs: usize,
+        /// Multiplier reached at the end of the horizon, in `[0, 1]`.
+        min_factor: f64,
+    },
+    /// Linear warm-up from `1/warmup_epochs` to 1 over the first
+    /// `warmup_epochs` epochs, constant afterwards.
+    Warmup {
+        /// Number of warm-up epochs (must be ≥ 1).
+        warmup_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier for `epoch` (0-based).
+    pub fn factor(&self, epoch: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { step_size, gamma } => {
+                let steps = epoch / step_size.max(1);
+                gamma.clamp(0.0, 1.0).powi(steps as i32)
+            }
+            LrSchedule::CosineAnnealing {
+                total_epochs,
+                min_factor,
+            } => {
+                let min_factor = min_factor.clamp(0.0, 1.0);
+                let horizon = total_epochs.max(1);
+                let progress = (epoch.min(horizon) as f64) / horizon as f64;
+                min_factor
+                    + (1.0 - min_factor) * 0.5 * (1.0 + (std::f64::consts::PI * progress).cos())
+            }
+            LrSchedule::Warmup { warmup_epochs } => {
+                let warmup = warmup_epochs.max(1);
+                if epoch >= warmup {
+                    1.0
+                } else {
+                    (epoch + 1) as f64 / warmup as f64
+                }
+            }
+        }
+    }
+
+    /// The absolute learning rate for `epoch` given a base rate.
+    pub fn learning_rate(&self, base_lr: f32, epoch: usize) -> f32 {
+        (base_lr as f64 * self.factor(epoch)) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_never_changes() {
+        for epoch in [0, 1, 10, 1000] {
+            assert_eq!(LrSchedule::Constant.factor(epoch), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_at_each_boundary() {
+        let s = LrSchedule::StepDecay {
+            step_size: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+        assert!((s.learning_rate(0.01, 10) - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_annealing_is_monotone_and_bounded() {
+        let s = LrSchedule::CosineAnnealing {
+            total_epochs: 100,
+            min_factor: 0.1,
+        };
+        assert!((s.factor(0) - 1.0).abs() < 1e-12);
+        assert!((s.factor(100) - 0.1).abs() < 1e-9);
+        // Past the horizon the factor stays at the minimum.
+        assert!((s.factor(500) - 0.1).abs() < 1e-9);
+        let mut prev = f64::INFINITY;
+        for epoch in 0..=100 {
+            let f = s.factor(epoch);
+            assert!(f <= prev + 1e-12, "cosine schedule increased at {epoch}");
+            assert!((0.1 - 1e-9..=1.0 + 1e-9).contains(&f));
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_then_plateaus() {
+        let s = LrSchedule::Warmup { warmup_epochs: 4 };
+        assert!((s.factor(0) - 0.25).abs() < 1e-12);
+        assert!((s.factor(1) - 0.5).abs() < 1e-12);
+        assert!((s.factor(3) - 1.0).abs() < 1e-12);
+        assert_eq!(s.factor(4), 1.0);
+        assert_eq!(s.factor(50), 1.0);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        assert_eq!(LrSchedule::StepDecay { step_size: 0, gamma: 0.5 }.factor(3), 0.125);
+        assert_eq!(LrSchedule::Warmup { warmup_epochs: 0 }.factor(0), 1.0);
+        let cosine = LrSchedule::CosineAnnealing {
+            total_epochs: 0,
+            min_factor: 2.0,
+        };
+        assert!((cosine.factor(0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+use crate::{Result, SimRankError};
+
+/// Configuration shared by the exact and approximate SimRank computations.
+///
+/// Defaults follow the paper: decay factor `c = 0.6` (the standard SimRank
+/// choice) and error threshold `ε = 0.1`, which Section III-B argues gives a
+/// sufficiently rough approximation (`L = ⌈log_c ε⌉ ≈ 4` iterations) while
+/// keeping precomputation cheap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimRankConfig {
+    /// Decay factor `c ∈ (0, 1)`.
+    pub decay: f64,
+    /// Absolute error threshold `ε ∈ (0, 1)` for approximation.
+    pub epsilon: f64,
+    /// Optional top-k pruning applied when materialising the aggregation
+    /// operator (`None` keeps every non-pruned score).
+    pub top_k: Option<usize>,
+}
+
+impl Default for SimRankConfig {
+    fn default() -> Self {
+        Self {
+            decay: 0.6,
+            epsilon: 0.1,
+            top_k: None,
+        }
+    }
+}
+
+impl SimRankConfig {
+    /// Creates a configuration, validating ranges.
+    pub fn new(decay: f64, epsilon: f64, top_k: Option<usize>) -> Result<Self> {
+        let cfg = Self {
+            decay,
+            epsilon,
+            top_k,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.decay > 0.0 && self.decay < 1.0) {
+            return Err(SimRankError::InvalidConfig {
+                name: "decay",
+                value: self.decay,
+            });
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(SimRankError::InvalidConfig {
+                name: "epsilon",
+                value: self.epsilon,
+            });
+        }
+        if let Some(k) = self.top_k {
+            if k == 0 {
+                return Err(SimRankError::InvalidConfig {
+                    name: "top_k",
+                    value: 0.0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of fixed-point iterations needed for an ε-approximation:
+    /// `T = ⌈log_c ε⌉` (paper Theorem III.4 / Section III-B). With the
+    /// default `c = 0.6`, `ε = 0.1` this is 5 (the paper rounds to ≈ 4).
+    pub fn num_iterations(&self) -> usize {
+        let t = self.epsilon.ln() / self.decay.ln();
+        t.ceil().max(1.0) as usize
+    }
+
+    /// Builder-style setter for the top-k pruning parameter.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let cfg = SimRankConfig::default();
+        assert!((cfg.decay - 0.6).abs() < 1e-12);
+        assert!((cfg.epsilon - 0.1).abs() < 1e-12);
+        assert!(cfg.top_k.is_none());
+        // ⌈log_0.6(0.1)⌉ = ⌈4.50⌉ = 5 iterations.
+        assert_eq!(cfg.num_iterations(), 5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        assert!(SimRankConfig::new(0.0, 0.1, None).is_err());
+        assert!(SimRankConfig::new(1.0, 0.1, None).is_err());
+        assert!(SimRankConfig::new(0.6, 0.0, None).is_err());
+        assert!(SimRankConfig::new(0.6, 1.5, None).is_err());
+        assert!(SimRankConfig::new(0.6, 0.1, Some(0)).is_err());
+        assert!(SimRankConfig::new(0.6, 0.1, Some(16)).is_ok());
+    }
+
+    #[test]
+    fn iterations_grow_with_precision() {
+        let loose = SimRankConfig::new(0.6, 0.1, None).unwrap();
+        let tight = SimRankConfig::new(0.6, 0.01, None).unwrap();
+        assert!(tight.num_iterations() > loose.num_iterations());
+        let high_decay = SimRankConfig::new(0.9, 0.1, None).unwrap();
+        assert!(high_decay.num_iterations() > loose.num_iterations());
+    }
+
+    #[test]
+    fn with_top_k_builder() {
+        let cfg = SimRankConfig::default().with_top_k(32);
+        assert_eq!(cfg.top_k, Some(32));
+    }
+}

@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced by similarity computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimRankError {
+    /// A configuration value is outside its valid range.
+    InvalidConfig {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The input graph is unusable for the requested computation.
+    Graph(sigma_graph::GraphError),
+    /// An underlying matrix operation failed.
+    Matrix(sigma_matrix::MatrixError),
+    /// A node id is out of range.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+}
+
+impl fmt::Display for SimRankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimRankError::InvalidConfig { name, value } => {
+                write!(f, "invalid configuration: {name} = {value}")
+            }
+            SimRankError::Graph(e) => write!(f, "graph error: {e}"),
+            SimRankError::Matrix(e) => write!(f, "matrix error: {e}"),
+            SimRankError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node {node} out of bounds for graph with {num_nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimRankError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimRankError::Graph(e) => Some(e),
+            SimRankError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sigma_graph::GraphError> for SimRankError {
+    fn from(e: sigma_graph::GraphError) -> Self {
+        SimRankError::Graph(e)
+    }
+}
+
+impl From<sigma_matrix::MatrixError> for SimRankError {
+    fn from(e: sigma_matrix::MatrixError) -> Self {
+        SimRankError::Matrix(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = SimRankError::InvalidConfig { name: "c", value: 1.5 };
+        assert!(e.to_string().contains("c = 1.5"));
+        let e: SimRankError = sigma_graph::GraphError::EmptyGraph.into();
+        assert!(matches!(e, SimRankError::Graph(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: SimRankError = sigma_matrix::MatrixError::NonFiniteValue { op: "t" }.into();
+        assert!(matches!(e, SimRankError::Matrix(_)));
+        let e = SimRankError::NodeOutOfBounds { node: 3, num_nodes: 2 };
+        assert!(e.to_string().contains("node 3"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for SimRank and PPR.
+//!
+//! Random small graphs are generated and the core guarantees are checked:
+//! exact SimRank is a symmetric [0,1] similarity with unit diagonal,
+//! LocalPush stays within its ε error bound, and PPR vectors are
+//! distributions.
+
+use proptest::prelude::*;
+use sigma_graph::Graph;
+use sigma_simrank::{
+    exact_simrank, forward_push_ppr, power_iteration_ppr, power_iteration_simrank,
+    DynamicSimRank, EdgeUpdate, LocalPush, PprConfig, SimRankConfig,
+};
+
+const MAX_NODES: usize = 14;
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (3..MAX_NODES).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 1..n * 3)
+            .prop_map(move |edges| Graph::from_edges(n, &edges).expect("endpoints in range"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_simrank_is_a_similarity_matrix(g in random_graph()) {
+        let s = exact_simrank(&g, &SimRankConfig::default()).unwrap();
+        let n = g.num_nodes();
+        for u in 0..n {
+            prop_assert!((s.get(u, u) - 1.0).abs() < 1e-6);
+            for v in 0..n {
+                prop_assert!(s.get(u, v) >= -1e-6 && s.get(u, v) <= 1.0 + 1e-6);
+                prop_assert!((s.get(u, v) - s.get(v, u)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn localpush_respects_epsilon_bound(g in random_graph()) {
+        let cfg = SimRankConfig::default();
+        let exact = exact_simrank(&g, &cfg).unwrap();
+        let approx = LocalPush::new(&g, cfg).unwrap().run();
+        for u in 0..g.num_nodes() {
+            for v in 0..g.num_nodes() {
+                if u == v { continue; }
+                let err = (approx.get(u, v) - exact.get(u, v)).abs();
+                prop_assert!(err < cfg.epsilon as f32 + 0.02,
+                    "error {err} at ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn localpush_topk_operator_is_well_formed(g in random_graph(), k in 1usize..6) {
+        let cfg = SimRankConfig::default().with_top_k(k);
+        let op = LocalPush::new(&g, cfg).unwrap().run_to_operator();
+        prop_assert_eq!(op.shape(), (g.num_nodes(), g.num_nodes()));
+        for u in 0..g.num_nodes() {
+            prop_assert!(op.row_nnz(u) <= k);
+            for (_, v) in op.row_iter(u) {
+                prop_assert!(v > 0.0 && v <= 1.0 + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn ppr_power_iteration_is_a_distribution(g in random_graph(), source_raw in 0usize..MAX_NODES) {
+        let source = source_raw % g.num_nodes();
+        let pi = power_iteration_ppr(&g, source, &PprConfig::default()).unwrap();
+        let sum: f64 = pi.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(pi.iter().all(|&p| p >= 0.0));
+        // The source always retains at least the teleport share.
+        prop_assert!(pi[source] >= 0.15 - 1e-6);
+    }
+
+    #[test]
+    fn ppr_forward_push_underestimates_but_tracks_power_iteration(
+        g in random_graph(), source_raw in 0usize..MAX_NODES
+    ) {
+        let source = source_raw % g.num_nodes();
+        let cfg = PprConfig { r_max: 1e-5, ..PprConfig::default() };
+        let push = forward_push_ppr(&g, source, &cfg).unwrap();
+        let exact = power_iteration_ppr(&g, source, &cfg).unwrap();
+        let mass: f64 = push.values().sum();
+        prop_assert!(mass <= 1.0 + 1e-9);
+        for (&v, &val) in &push {
+            prop_assert!((val - exact[v]).abs() < 0.05, "node {v}: {val} vs {}", exact[v]);
+        }
+    }
+
+    #[test]
+    fn localpush_scores_are_valid_similarities(g in random_graph()) {
+        // Regardless of density, every stored score (including the ones added
+        // by the residual sweep) is a similarity in [0, 1] and the diagonal
+        // is exact.
+        let scores = LocalPush::new(&g, SimRankConfig::default()).unwrap().run();
+        for u in 0..g.num_nodes() {
+            prop_assert!((scores.get(u, u) - 1.0).abs() < 1e-6);
+            for (v, s) in scores.row(u) {
+                prop_assert!(s > 0.0 && s <= 1.0 + 1e-5, "S({u},{v}) = {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_iteration_simrank_is_a_similarity_matrix(g in random_graph()) {
+        let s = power_iteration_simrank(&g, &SimRankConfig::default()).unwrap();
+        let n = g.num_nodes();
+        for u in 0..n {
+            prop_assert!((s.get(u, u) - 1.0).abs() < 1e-6);
+            for v in 0..n {
+                prop_assert!(s.get(u, v) >= -1e-6 && s.get(u, v) <= 1.0 + 1e-5);
+                prop_assert!((s.get(u, v) - s.get(v, u)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_simrank_matches_fresh_computation_after_refresh(
+        g in random_graph(),
+        edits in prop::collection::vec((0usize..MAX_NODES, 0usize..MAX_NODES, any::<bool>()), 1..6)
+    ) {
+        let cfg = SimRankConfig::default().with_top_k(4);
+        let mut maintainer = DynamicSimRank::new(g.clone(), cfg, 0).unwrap();
+        let n = g.num_nodes();
+        for (a, b, insert) in edits {
+            let (a, b) = (a % n, b % n);
+            if a == b { continue; }
+            let update = if insert { EdgeUpdate::Insert(a, b) } else { EdgeUpdate::Delete(a, b) };
+            maintainer.apply(update).unwrap();
+        }
+        // With a zero staleness budget every query refreshes, so the
+        // maintained scores must equal a from-scratch LocalPush run on the
+        // edited graph.
+        let edited = maintainer.graph().clone();
+        let maintained = maintainer.scores().unwrap();
+        let fresh = LocalPush::new(&edited, cfg).unwrap().run();
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert!((maintained.get(u, v) - fresh.get(u, v)).abs() < 1e-6);
+            }
+        }
+    }
+}

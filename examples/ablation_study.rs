@@ -1,0 +1,75 @@
+//! Component ablation of SIGMA (a miniature of the paper's Table VIII).
+//!
+//! Four aggregation variants are trained on the same heterophilous graph:
+//!
+//! * full SIGMA (global SimRank aggregation),
+//! * SIGMA w/ S·A (aggregation restricted to immediate neighbours),
+//! * SIGMA w/ PPR (local single-walk aggregation),
+//! * SIGMA w/o S (no aggregation at all — the LINKX-style embedding alone),
+//!
+//! plus the δ extremes (w/o X and w/o A).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example ablation_study
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sigma::{
+    AggregatorKind, ContextBuilder, Model, ModelHyperParams, SigmaModel, TrainConfig, Trainer,
+};
+use sigma_datasets::DatasetPreset;
+use sigma_simrank::PprConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = DatasetPreset::Chameleon.build(1.0, 5)?;
+    println!("dataset: {}", data.summary());
+    let split = data.default_split(5)?;
+    let ctx = ContextBuilder::new(data)
+        .with_simrank_topk(16)
+        .with_ppr(PprConfig {
+            top_k: Some(16),
+            ..PprConfig::default()
+        })
+        .build()?;
+
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 150,
+        patience: 40,
+        ..TrainConfig::default()
+    });
+    let base = ModelHyperParams::small();
+
+    let variants: Vec<(&str, ModelHyperParams, AggregatorKind)> = vec![
+        ("SIGMA (full)", base, AggregatorKind::SimRank),
+        ("SIGMA w/ S*A", base, AggregatorKind::SimRankTimesA),
+        ("SIGMA w/ PPR", base, AggregatorKind::Ppr),
+        ("SIGMA w/o S", base, AggregatorKind::None),
+        ("SIGMA w/o X (delta=0)", base.with_delta(0.0), AggregatorKind::SimRank),
+        ("SIGMA w/o A (delta=1)", base.with_delta(1.0), AggregatorKind::SimRank),
+    ];
+
+    println!("\n{:<24}  {:>9}  {:>9}", "variant", "val acc", "test acc");
+    let mut full_test = 0.0f32;
+    for (name, hyper, aggregator) in variants {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = SigmaModel::with_aggregator(&ctx, &hyper, aggregator, &mut rng)?;
+        let report = trainer.train(&mut model as &mut dyn Model, &ctx, &split, 5)?;
+        if name == "SIGMA (full)" {
+            full_test = report.test_accuracy;
+        }
+        println!(
+            "{:<24}  {:>8.1}%  {:>8.1}%  (drop {:+.1} pts)",
+            name,
+            report.best_val_accuracy * 100.0,
+            report.test_accuracy * 100.0,
+            (report.test_accuracy - full_test) * 100.0
+        );
+    }
+
+    println!("\nThe paper's Table VIII finding: removing the global S aggregation, or");
+    println!("restricting it to the local neighbourhood (S*A / PPR), costs accuracy on");
+    println!("heterophilous graphs; removing the adjacency embedding (w/o A) hurts most.");
+    Ok(())
+}

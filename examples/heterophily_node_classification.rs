@@ -1,0 +1,56 @@
+//! Heterophily sweep: how SIGMA and local-aggregation baselines behave as the
+//! graph moves from strongly heterophilous to strongly homophilous.
+//!
+//! This mirrors the motivation of the paper's introduction: local, uniform
+//! aggregation (GCN) degrades as homophily drops, while SIGMA's global
+//! SimRank aggregation keeps identifying same-class nodes through structure.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example heterophily_node_classification
+//! ```
+
+use sigma::{ContextBuilder, ModelHyperParams, ModelKind, TrainConfig, Trainer};
+use sigma_datasets::{generate, GeneratorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let homophily_levels = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let kinds = [ModelKind::Sigma, ModelKind::Linkx, ModelKind::Gcn(2), ModelKind::Mlp];
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 120,
+        patience: 30,
+        ..TrainConfig::default()
+    });
+    let hyper = ModelHyperParams::small();
+
+    println!(
+        "{:<10}  {:>8}  {:>8}  {:>8}  {:>8}",
+        "homophily",
+        kinds[0].name(),
+        kinds[1].name(),
+        kinds[2].name(),
+        kinds[3].name()
+    );
+    for &h in &homophily_levels {
+        let cfg = GeneratorConfig::new(500, 8.0, 4, 24)
+            .with_homophily(h)
+            .with_feature_snr(0.8, 1.0)
+            .with_name("sweep");
+        let data = generate(&cfg, 11)?;
+        let split = data.default_split(11)?;
+        let measured_h = data.node_homophily()?;
+        let ctx = ContextBuilder::new(data).with_simrank_topk(16).build()?;
+
+        let mut row = format!("{measured_h:<10.2}");
+        for kind in kinds {
+            let mut model = kind.build(&ctx, &hyper, 11)?;
+            let report = trainer.train(model.as_mut(), &ctx, &split, 11)?;
+            row.push_str(&format!("  {:>7.1}%", report.test_accuracy * 100.0));
+        }
+        println!("{row}");
+    }
+
+    println!("\nExpected shape: the gap between SIGMA/LINKX and GCN is widest at low");
+    println!("homophily and closes as the graph becomes homophilous.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: train SIGMA on a small heterophilous graph and compare it
+//! against a plain GCN and an MLP.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sigma::{ContextBuilder, ModelHyperParams, ModelKind, TrainConfig, Trainer};
+use sigma_datasets::DatasetPreset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a Texas-like heterophilous dataset (synthetic stand-in for the
+    //    paper's dataset; same class count, average degree and homophily).
+    let data = DatasetPreset::Texas.build(1.0, 7)?;
+    println!("dataset  : {}", data.summary());
+    let split = data.default_split(7)?;
+    println!(
+        "split    : {} train / {} val / {} test",
+        split.train.len(),
+        split.val.len(),
+        split.test.len()
+    );
+
+    // 2. Precompute the constant operators. SIGMA needs the top-k SimRank
+    //    matrix; the GCN baseline only needs the normalized adjacency, which
+    //    is always built.
+    let ctx = ContextBuilder::new(data).with_simrank_topk(16).build()?;
+    println!(
+        "precompute: SimRank operator built in {:.2?} ({} stored scores)",
+        ctx.timings().simrank,
+        ctx.simrank().map(|s| s.nnz()).unwrap_or(0)
+    );
+
+    // 3. Train SIGMA and two baselines with identical budgets.
+    let hyper = ModelHyperParams::small();
+    let train_cfg = TrainConfig {
+        epochs: 150,
+        patience: 40,
+        ..TrainConfig::default()
+    };
+    let trainer = Trainer::new(train_cfg);
+
+    println!("\n{:<8}  {:>9}  {:>9}  {:>12}", "model", "val acc", "test acc", "train time");
+    for kind in [ModelKind::Sigma, ModelKind::Gcn(2), ModelKind::Mlp] {
+        let mut model = kind.build(&ctx, &hyper, 7)?;
+        let report = trainer.train(model.as_mut(), &ctx, &split, 7)?;
+        println!(
+            "{:<8}  {:>8.1}%  {:>8.1}%  {:>12.2?}",
+            kind.name(),
+            report.best_val_accuracy * 100.0,
+            report.test_accuracy * 100.0,
+            report.train_time
+        );
+    }
+
+    println!("\nSIGMA aggregates over the whole graph with a one-time SimRank operator,");
+    println!("so it keeps accuracy under heterophily where local GCN aggregation degrades.");
+    Ok(())
+}

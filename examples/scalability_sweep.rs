@@ -1,0 +1,54 @@
+//! Scalability: SIGMA precomputation + training time versus graph size,
+//! compared against the per-epoch aggregation cost of GloGNN.
+//!
+//! A miniature version of the paper's Fig. 5: the pokec-like preset is
+//! rescaled across several sizes and both models are trained with the same
+//! budget. SIGMA's one-time SimRank precomputation amortises, while GloGNN
+//! pays its multi-hop aggregation every epoch.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example scalability_sweep
+//! ```
+
+use sigma::{ContextBuilder, ModelHyperParams, ModelKind, TrainConfig, Trainer};
+use sigma_datasets::DatasetPreset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scales = [0.5, 1.0, 2.0, 4.0];
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 40,
+        patience: 0,
+        ..TrainConfig::default()
+    });
+    let hyper = ModelHyperParams::small();
+
+    println!(
+        "{:>8}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}",
+        "nodes", "edges", "SIGMA pre", "SIGMA learn", "GloGNN learn", "speed-up"
+    );
+    for &scale in &scales {
+        let data = DatasetPreset::Pokec.build(scale, 3)?;
+        let (n, m) = (data.num_nodes(), data.num_edges());
+        let split = data.default_split(3)?;
+        let ctx = ContextBuilder::new(data).with_simrank_topk(16).build()?;
+
+        let mut sigma_model = ModelKind::Sigma.build(&ctx, &hyper, 3)?;
+        let sigma_report = trainer.train(sigma_model.as_mut(), &ctx, &split, 3)?;
+        let mut glognn_model = ModelKind::GloGnn.build(&ctx, &hyper, 3)?;
+        let glognn_report = trainer.train(glognn_model.as_mut(), &ctx, &split, 3)?;
+
+        let sigma_learn = sigma_report.learning_time();
+        let glognn_learn = glognn_report.train_time;
+        let speedup = glognn_learn.as_secs_f64() / sigma_learn.as_secs_f64().max(1e-9);
+        println!(
+            "{:>8}  {:>8}  {:>12.2?}  {:>12.2?}  {:>12.2?}  {:>11.2}x",
+            n, m, sigma_report.precompute_time, sigma_learn, glognn_learn, speedup
+        );
+    }
+
+    println!("\nBoth models scale roughly linearly with the edge count; SIGMA's advantage");
+    println!("grows with graph size because its aggregation never touches the edges again");
+    println!("after the one-time SimRank precomputation.");
+    Ok(())
+}
