@@ -16,7 +16,10 @@ fn main() {
     let data = DatasetPreset::Texas
         .build(cfg.scale, 42)
         .expect("texas preset");
-    println!("Fig. 1(b)/(c) — aggregation score homophily on {}", data.summary());
+    println!(
+        "Fig. 1(b)/(c) — aggregation score homophily on {}",
+        data.summary()
+    );
 
     let simrank = exact_simrank(&data.graph, &SimRankConfig::default()).expect("exact SimRank");
     let ppr_cfg = PprConfig::default();
@@ -43,16 +46,16 @@ fn main() {
         let ppr = power_iteration_ppr(&data.graph, centre, &ppr_cfg).expect("ppr");
         let (mut ppr_same, mut ppr_diff) = (0.0f64, 0.0f64);
         let (mut sim_same, mut sim_diff) = (0.0f64, 0.0f64);
-        for v in 0..data.num_nodes() {
+        for (v, &ppr_v) in ppr.iter().enumerate() {
             if v == centre {
                 continue;
             }
             let same = data.labels[v] == data.labels[centre];
             if same {
-                ppr_same += ppr[v];
+                ppr_same += ppr_v;
                 sim_same += simrank.get(centre, v) as f64;
             } else {
-                ppr_diff += ppr[v];
+                ppr_diff += ppr_v;
                 sim_diff += simrank.get(centre, v) as f64;
             }
         }
@@ -76,6 +79,10 @@ fn main() {
     println!("aggregate same-label share: PPR (local) = {ppr_ratio:.3}, SimRank (SIGMA) = {sim_ratio:.3}");
     println!(
         "paper shape: SimRank's share should exceed PPR's on heterophilous graphs -> {}",
-        if sim_ratio > ppr_ratio { "REPRODUCED" } else { "NOT reproduced on this draw" }
+        if sim_ratio > ppr_ratio {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced on this draw"
+        }
     );
 }

@@ -56,12 +56,25 @@ fn main() {
             let curve: Vec<String> = report
                 .history
                 .iter()
-                .map(|r| format!("({:.2}s, {:.1}%)", r.elapsed.as_secs_f64(), r.val_accuracy * 100.0))
+                .map(|r| {
+                    format!(
+                        "({:.2}s, {:.1}%)",
+                        r.elapsed.as_secs_f64(),
+                        r.val_accuracy * 100.0
+                    )
+                })
                 .collect();
-            println!("{:<7} {} curve: {}", kind.name(), preset.stats().name, curve.join(" "));
+            println!(
+                "{:<7} {} curve: {}",
+                kind.name(),
+                preset.stats().name,
+                curve.join(" ")
+            );
         }
         table.print(&format!("Fig. 4: convergence on {}", preset.stats().name));
     }
     println!("paper shape: SIGMA (and the other simple decoupled models) converge quickly;");
-    println!("SIGMA reaches a higher final accuracy than LINKX/MixHop and converges faster than GloGNN.");
+    println!(
+        "SIGMA reaches a higher final accuracy than LINKX/MixHop and converges faster than GloGNN."
+    );
 }

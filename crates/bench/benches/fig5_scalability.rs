@@ -28,7 +28,12 @@ fn main() {
     let mut speedups = Vec::new();
     for i in (0..steps).rev() {
         let scale = cfg.scale * 1.6 / 2.5f64.powi(i as i32);
-        let (ctx, split) = prepare(DatasetPreset::Pokec, &BenchConfig { scale, ..cfg }, OperatorSet::default(), 31);
+        let (ctx, split) = prepare(
+            DatasetPreset::Pokec,
+            &BenchConfig { scale, ..cfg },
+            OperatorSet::default(),
+            31,
+        );
         let edges = ctx.dataset().graph.num_edges();
         let sigma_report = train(ModelKind::Sigma, &ctx, &split, &cfg, &default_hyper(), 31);
         let glognn_report = train(ModelKind::GloGnn, &ctx, &split, &cfg, &default_hyper(), 31);

@@ -35,7 +35,9 @@ fn main() {
     }
     table.print("Fig. 7: top-k runtime / accuracy trade-off on pokec (epsilon = 0.1)");
     if let Some(k) = plateau_k {
-        println!("accuracy plateaus around k = {k} (paper: k = 32), while runtime keeps growing with k;");
+        println!(
+            "accuracy plateaus around k = {k} (paper: k = 32), while runtime keeps growing with k;"
+        );
     }
     println!("paper shape: k in {{16, 32}} is the sweet spot between accuracy and cost.");
 }

@@ -65,7 +65,10 @@ fn main() {
         // Block map: average logit per (class, output dimension) — the text
         // analogue of Fig. 8's rectangular patterns.
         let classes = ctx.num_classes();
-        println!("\nFig. 8 block map for {} (rows = true class, cols = logit dim):", preset.stats().name);
+        println!(
+            "\nFig. 8 block map for {} (rows = true class, cols = logit dim):",
+            preset.stats().name
+        );
         for c in 0..classes {
             let members: Vec<usize> = (0..n).filter(|&v| labels[v] == c).collect();
             let mut row = format!("  class {c}: ");

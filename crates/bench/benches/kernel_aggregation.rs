@@ -28,22 +28,26 @@ fn aggregation_benchmarks(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("sigma_topk_spmm", n), &n, |b, _| {
         b.iter(|| simrank.spmm(&h).expect("spmm"))
     });
-    group.bench_with_input(BenchmarkId::new("glognn_multihop_per_epoch", n), &n, |b, _| {
-        b.iter(|| {
-            // k2 = 3 hops, l_norm = 2 rounds, recomputed every epoch.
-            let mut z = h.clone();
-            for _ in 0..2 {
-                let mut acc = DenseMatrix::zeros(n, hidden);
-                let mut current = z.clone();
-                for k in 1..=3 {
-                    current = a_hat.spmm(&current).expect("spmm");
-                    acc.add_scaled(0.7f32.powi(k), &current).expect("acc");
+    group.bench_with_input(
+        BenchmarkId::new("glognn_multihop_per_epoch", n),
+        &n,
+        |b, _| {
+            b.iter(|| {
+                // k2 = 3 hops, l_norm = 2 rounds, recomputed every epoch.
+                let mut z = h.clone();
+                for _ in 0..2 {
+                    let mut acc = DenseMatrix::zeros(n, hidden);
+                    let mut current = z.clone();
+                    for k in 1..=3 {
+                        current = a_hat.spmm(&current).expect("spmm");
+                        acc.add_scaled(0.7f32.powi(k), &current).expect("acc");
+                    }
+                    z = acc;
                 }
-                z = acc;
-            }
-            z
-        })
-    });
+                z
+            })
+        },
+    );
     group.bench_with_input(BenchmarkId::new("dense_full_matrix", n), &n, |b, _| {
         b.iter(|| dense_s.matmul(&h).expect("matmul"))
     });

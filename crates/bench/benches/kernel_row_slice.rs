@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the row-sliced aggregation kernels behind
+//! `sigma-serve`.
+//!
+//! Compares, on a Penn94-like graph with a top-k SimRank operator:
+//! * `spmm` — the full-graph aggregation an offline forward pass performs,
+//! * `spmm_rows` — the row-sliced kernel serving a batch of `b ≪ n` nodes,
+//! * `gather_rows` + `spmm` — the materialising alternative to `spmm_rows`.
+//!
+//! The serving claim is that a batched query costs `O(b·k·f)`: `spmm_rows`
+//! on small batches must run far below the full `O(n·k·f)` SpMM. The bench
+//! asserts that relationship (in addition to reporting timings) so a
+//! regression fails loudly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigma_datasets::DatasetPreset;
+use sigma_matrix::DenseMatrix;
+use sigma_simrank::{LocalPush, SimRankConfig};
+use std::time::Instant;
+
+fn row_slice_benchmarks(c: &mut Criterion) {
+    let data = DatasetPreset::Penn94.build(0.6, 3).expect("preset");
+    let n = data.num_nodes();
+    let hidden = 32usize;
+    let h = DenseMatrix::from_fn(n, hidden, |i, j| ((i * 13 + j * 5) % 11) as f32 * 0.2 - 1.0);
+    let simrank = LocalPush::new(&data.graph, SimRankConfig::default().with_top_k(16))
+        .expect("localpush")
+        .run_to_operator();
+
+    let mut group = c.benchmark_group("row_slice_kernels");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("full_spmm", n), &n, |b, _| {
+        b.iter(|| simrank.spmm(&h).expect("spmm"))
+    });
+    for batch in [1usize, 16, 128] {
+        let rows: Vec<usize> = (0..batch).map(|i| (i * 97) % n).collect();
+        group.bench_with_input(BenchmarkId::new("spmm_rows", batch), &rows, |b, rows| {
+            b.iter(|| simrank.spmm_rows(rows, &h).expect("spmm_rows"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("gather_then_spmm", batch),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    simrank
+                        .gather_rows(rows)
+                        .expect("gather")
+                        .spmm(&h)
+                        .expect("spmm")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Hard assertion of the serving claim: a small batch must be much
+    // cheaper than the full SpMM (conservative 5x margin on a 128-node batch
+    // against a graph of thousands of nodes).
+    let rows: Vec<usize> = (0..128).map(|i| (i * 97) % n).collect();
+    let reps = 20;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let _ = simrank.spmm(&h).expect("spmm");
+    }
+    let full = start.elapsed();
+    let start = Instant::now();
+    for _ in 0..reps {
+        let _ = simrank.spmm_rows(&rows, &h).expect("spmm_rows");
+    }
+    let sliced = start.elapsed();
+    println!(
+        "row-slice speed check: full spmm {full:.2?}, spmm_rows(b=128) {sliced:.2?} over {reps} reps (n = {n})"
+    );
+    assert!(
+        sliced * 5 < full,
+        "spmm_rows on b=128 ({sliced:?}) should be at least 5x faster than full spmm ({full:?})"
+    );
+}
+
+criterion_group!(benches, row_slice_benchmarks);
+criterion_main!(benches);

@@ -15,7 +15,12 @@ fn main() {
         patience: 0,
         ..TrainConfig::default()
     });
-    let mut table = TablePrinter::new(vec!["dataset", "H_node", "convergent alpha", "test acc (%)"]);
+    let mut table = TablePrinter::new(vec![
+        "dataset",
+        "H_node",
+        "convergent alpha",
+        "test acc (%)",
+    ]);
     for preset in DatasetPreset::LARGE {
         let (ctx, split) = prepare(preset, &cfg, OperatorSet::default(), 53);
         let hyper = default_hyper().with_learnable_alpha(true).with_alpha(0.5);
@@ -33,5 +38,7 @@ fn main() {
     }
     table.print("Table X: convergent alpha per large-scale dataset (initialised at 0.5)");
     println!("paper shape: alpha converges to dataset-specific values; strongly heterophilous");
-    println!("graphs (snap-patents) push alpha low, i.e. they rely most on the global aggregation.");
+    println!(
+        "graphs (snap-patents) push alpha low, i.e. they rely most on the global aggregation."
+    );
 }

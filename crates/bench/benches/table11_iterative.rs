@@ -10,7 +10,11 @@ fn main() {
     let cfg = BenchConfig::from_env();
     let depths = [1usize, 2, 3];
     let mut header = vec!["model".to_string()];
-    header.extend(DatasetPreset::LARGE.iter().map(|p| p.stats().name.to_string()));
+    header.extend(
+        DatasetPreset::LARGE
+            .iter()
+            .map(|p| p.stats().name.to_string()),
+    );
     let mut table = TablePrinter::new(header);
 
     let prepared: Vec<_> = DatasetPreset::LARGE
@@ -24,8 +28,22 @@ fn main() {
         let mut gcn_row = vec![format!("GCN-{depth}")];
         let mut sigma_row = vec![format!("SIGMA-{depth}")];
         for (ctx, split) in &prepared {
-            let gcn = train(ModelKind::Gcn(depth), ctx, split, &cfg, &default_hyper(), 61);
-            let sig = train(ModelKind::SigmaIterative(depth), ctx, split, &cfg, &default_hyper(), 61);
+            let gcn = train(
+                ModelKind::Gcn(depth),
+                ctx,
+                split,
+                &cfg,
+                &default_hyper(),
+                61,
+            );
+            let sig = train(
+                ModelKind::SigmaIterative(depth),
+                ctx,
+                split,
+                &cfg,
+                &default_hyper(),
+                61,
+            );
             gcn_row.push(format!("{:.1}", gcn.test_accuracy * 100.0));
             sigma_row.push(format!("{:.1}", sig.test_accuracy * 100.0));
             comparisons += 1;

@@ -71,7 +71,10 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" ")
         };
-        println!("\nFig. 2 density (% of pairs per score decile), {}:", preset.stats().name);
+        println!(
+            "\nFig. 2 density (% of pairs per score decile), {}:",
+            preset.stats().name
+        );
         println!("  intra: {}", histogram(&intra));
         println!("  inter: {}", histogram(&inter));
     }

@@ -29,7 +29,8 @@ fn main() {
             .find(|r| r.model == "SIGMA")
             .map(|r| r.aggregation)
             .unwrap_or(1.0);
-        let mut table = TablePrinter::new(vec!["model", "aggregation", "inference", "agg vs SIGMA"]);
+        let mut table =
+            TablePrinter::new(vec!["model", "aggregation", "inference", "agg vs SIGMA"]);
         for row in &rows {
             table.add_row(vec![
                 row.model.to_string(),

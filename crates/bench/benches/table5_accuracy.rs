@@ -23,18 +23,20 @@ fn main() {
 
     for preset in DatasetPreset::ALL {
         // Large presets are additionally shrunk so the default suite stays fast.
-        let scale = if preset.stats().large_scale { cfg.scale * 0.6 } else { cfg.scale };
+        let scale = if preset.stats().large_scale {
+            cfg.scale * 0.6
+        } else {
+            cfg.scale
+        };
         let local_cfg = BenchConfig { scale, ..cfg };
         let (ctx, split) = prepare(preset, &local_cfg, OperatorSet::full(), 17);
         let homophily = ctx.dataset().node_homophily().unwrap_or(f64::NAN);
 
-        let mut row: Vec<String> = vec![
-            preset.stats().name.to_string(),
-            format!("{homophily:.2}"),
-        ];
+        let mut row: Vec<String> = vec![preset.stats().name.to_string(), format!("{homophily:.2}")];
         let mut scores: Vec<(&'static str, f64)> = Vec::new();
         for kind in models {
-            let (mean, std, _) = repeated_accuracy(kind, &ctx, &split, &local_cfg, &default_hyper());
+            let (mean, std, _) =
+                repeated_accuracy(kind, &ctx, &split, &local_cfg, &default_hyper());
             row.push(format!("{mean:.1}±{std:.1}"));
             scores.push((kind.name(), mean));
         }

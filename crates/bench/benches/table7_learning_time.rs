@@ -10,9 +10,7 @@ use sigma_datasets::DatasetPreset;
 fn main() {
     let cfg = BenchConfig::from_env();
     let models = [ModelKind::Linkx, ModelKind::GloGnn, ModelKind::Sigma];
-    let mut table = TablePrinter::new(vec![
-        "dataset", "model", "Pre. (s)", "AGG (s)", "Learn (s)",
-    ]);
+    let mut table = TablePrinter::new(vec!["dataset", "model", "Pre. (s)", "AGG (s)", "Learn (s)"]);
     let mut speedups_vs_glognn = Vec::new();
     let mut speedups_vs_linkx = Vec::new();
     for preset in DatasetPreset::LARGE {

@@ -17,12 +17,36 @@ struct Variant {
 
 fn variants(base: ModelHyperParams) -> Vec<Variant> {
     vec![
-        Variant { name: "SIGMA", aggregator: AggregatorKind::SimRank, hyper: base },
-        Variant { name: "SIGMA w/o S", aggregator: AggregatorKind::None, hyper: base },
-        Variant { name: "SIGMA w/ S*A", aggregator: AggregatorKind::SimRankTimesA, hyper: base },
-        Variant { name: "SIGMA w/ PPR", aggregator: AggregatorKind::Ppr, hyper: base },
-        Variant { name: "SIGMA w/o X", aggregator: AggregatorKind::SimRank, hyper: base.with_delta(0.0) },
-        Variant { name: "SIGMA w/o A", aggregator: AggregatorKind::SimRank, hyper: base.with_delta(1.0) },
+        Variant {
+            name: "SIGMA",
+            aggregator: AggregatorKind::SimRank,
+            hyper: base,
+        },
+        Variant {
+            name: "SIGMA w/o S",
+            aggregator: AggregatorKind::None,
+            hyper: base,
+        },
+        Variant {
+            name: "SIGMA w/ S*A",
+            aggregator: AggregatorKind::SimRankTimesA,
+            hyper: base,
+        },
+        Variant {
+            name: "SIGMA w/ PPR",
+            aggregator: AggregatorKind::Ppr,
+            hyper: base,
+        },
+        Variant {
+            name: "SIGMA w/o X",
+            aggregator: AggregatorKind::SimRank,
+            hyper: base.with_delta(0.0),
+        },
+        Variant {
+            name: "SIGMA w/o A",
+            aggregator: AggregatorKind::SimRank,
+            hyper: base.with_delta(1.0),
+        },
     ]
 }
 
@@ -36,7 +60,11 @@ fn main() {
     });
 
     let mut header = vec!["variant".to_string()];
-    header.extend(DatasetPreset::LARGE.iter().map(|p| p.stats().name.to_string()));
+    header.extend(
+        DatasetPreset::LARGE
+            .iter()
+            .map(|p| p.stats().name.to_string()),
+    );
     header.push("avg drop".to_string());
     header.push("max drop".to_string());
     let mut table = TablePrinter::new(header);
@@ -58,7 +86,9 @@ fn main() {
         }
         // GloGNN full and GloGNN w/o A (δ = 1) reference rows.
         for (offset, hyper) in [(0usize, base), (1usize, base.with_delta(1.0))] {
-            let mut model = ModelKind::GloGnn.build(&ctx, &hyper, 43).expect("glognn builds");
+            let mut model = ModelKind::GloGnn
+                .build(&ctx, &hyper, 43)
+                .expect("glognn builds");
             let report = trainer
                 .train(model.as_mut(), &ctx, &split, 43)
                 .expect("glognn trains");

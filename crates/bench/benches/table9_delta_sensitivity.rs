@@ -9,7 +9,11 @@ use sigma_datasets::DatasetPreset;
 fn main() {
     let cfg = BenchConfig::from_env();
     let deltas = [0.1, 0.3, 0.5, 0.7, 0.9];
-    let presets = [DatasetPreset::Penn94, DatasetPreset::ArxivYear, DatasetPreset::Pokec];
+    let presets = [
+        DatasetPreset::Penn94,
+        DatasetPreset::ArxivYear,
+        DatasetPreset::Pokec,
+    ];
     let mut header = vec!["delta".to_string()];
     header.extend(presets.iter().map(|p| p.stats().name.to_string()));
     let mut table = TablePrinter::new(header);

@@ -260,7 +260,8 @@ mod tests {
     use sigma_datasets::GeneratorConfig;
 
     fn small_dataset() -> Dataset {
-        sigma_datasets::generate(&GeneratorConfig::new(60, 5.0, 3, 8).with_homophily(0.3), 0).unwrap()
+        sigma_datasets::generate(&GeneratorConfig::new(60, 5.0, 3, 8).with_homophily(0.3), 0)
+            .unwrap()
     }
 
     #[test]
@@ -286,7 +287,10 @@ mod tests {
     fn optional_operators_are_built_on_request() {
         let ctx = ContextBuilder::new(small_dataset())
             .with_simrank_topk(8)
-            .with_ppr(PprConfig { top_k: Some(8), ..PprConfig::default() })
+            .with_ppr(PprConfig {
+                top_k: Some(8),
+                ..PprConfig::default()
+            })
             .with_two_hop()
             .build()
             .unwrap();

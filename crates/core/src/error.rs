@@ -96,9 +96,15 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        let e = SigmaError::MissingOperator { operator: "simrank", model: "SIGMA" };
+        let e = SigmaError::MissingOperator {
+            operator: "simrank",
+            model: "SIGMA",
+        };
         assert!(e.to_string().contains("simrank"));
-        let e = SigmaError::InvalidHyperParameter { name: "alpha", reason: "must be in [0,1]".into() };
+        let e = SigmaError::InvalidHyperParameter {
+            name: "alpha",
+            reason: "must be in [0,1]".into(),
+        };
         assert!(e.to_string().contains("alpha"));
         let e: SigmaError = sigma_nn::NnError::MissingForwardCache { layer: "x" }.into();
         assert!(std::error::Error::source(&e).is_some());
@@ -106,9 +112,14 @@ mod tests {
         assert!(matches!(e, SigmaError::Matrix(_)));
         let e: SigmaError = sigma_graph::GraphError::EmptyGraph.into();
         assert!(matches!(e, SigmaError::Graph(_)));
-        let e: SigmaError = sigma_simrank::SimRankError::InvalidConfig { name: "c", value: 2.0 }.into();
+        let e: SigmaError = sigma_simrank::SimRankError::InvalidConfig {
+            name: "c",
+            value: 2.0,
+        }
+        .into();
         assert!(matches!(e, SigmaError::SimRank(_)));
-        let e: SigmaError = sigma_datasets::DatasetError::InvalidSplit { reason: "x".into() }.into();
+        let e: SigmaError =
+            sigma_datasets::DatasetError::InvalidSplit { reason: "x".into() }.into();
         assert!(matches!(e, SigmaError::Dataset(_)));
     }
 }

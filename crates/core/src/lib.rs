@@ -63,6 +63,7 @@ mod context;
 mod error;
 mod model;
 pub mod models;
+pub mod snapshot;
 mod trainer;
 
 pub mod complexity;
@@ -70,8 +71,9 @@ pub mod complexity;
 pub use context::{ContextBuilder, GraphContext, PrecomputeTimings};
 pub use error::SigmaError;
 pub use model::{Model, ModelHyperParams, ModelKind};
-pub use models::sigma_model::{AggregatorKind, SigmaModel};
 pub use models::sigma_iterative::SigmaIterative;
+pub use models::sigma_model::{AggregatorKind, SigmaModel};
+pub use snapshot::{MlpWeights, ModelSnapshot};
 pub use trainer::{EpochRecord, TrainConfig, TrainReport, Trainer};
 
 /// Crate-wide result alias.

@@ -274,7 +274,9 @@ impl ModelKind {
         hyper.validate()?;
         let mut rng = StdRng::seed_from_u64(seed);
         let model: Box<dyn Model> = match *self {
-            ModelKind::Sigma => Box::new(models::sigma_model::SigmaModel::new(ctx, hyper, &mut rng)?),
+            ModelKind::Sigma => {
+                Box::new(models::sigma_model::SigmaModel::new(ctx, hyper, &mut rng)?)
+            }
             ModelKind::SigmaIterative(layers) => Box::new(
                 models::sigma_iterative::SigmaIterative::new(ctx, hyper, layers.max(1), &mut rng)?,
             ),
@@ -306,12 +308,38 @@ mod tests {
     fn hyper_param_validation() {
         assert!(ModelHyperParams::default().validate().is_ok());
         assert!(ModelHyperParams::small().validate().is_ok());
-        assert!(ModelHyperParams { hidden: 0, ..Default::default() }.validate().is_err());
-        assert!(ModelHyperParams { num_layers: 0, ..Default::default() }.validate().is_err());
-        assert!(ModelHyperParams { dropout: 1.0, ..Default::default() }.validate().is_err());
-        assert!(ModelHyperParams::default().with_alpha(1.3).validate().is_err());
-        assert!(ModelHyperParams::default().with_delta(-0.2).validate().is_err());
-        assert!(ModelHyperParams { hops: 0, ..Default::default() }.validate().is_err());
+        assert!(ModelHyperParams {
+            hidden: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModelHyperParams {
+            num_layers: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModelHyperParams {
+            dropout: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModelHyperParams::default()
+            .with_alpha(1.3)
+            .validate()
+            .is_err());
+        assert!(ModelHyperParams::default()
+            .with_delta(-0.2)
+            .validate()
+            .is_err());
+        assert!(ModelHyperParams {
+            hops: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -105,9 +105,10 @@ impl AcmLayer {
         grad_out: &DenseMatrix,
         agg_time: &mut Duration,
     ) -> Result<DenseMatrix> {
-        let cache = self.cache.take().ok_or(sigma_nn::NnError::MissingForwardCache {
-            layer: "AcmLayer",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "AcmLayer" })?;
         let a_hat = ctx.sym_adj();
         // Gradient w.r.t. the mixing logits through the softmax.
         let dot: Vec<f32> = cache
@@ -122,8 +123,8 @@ impl AcmLayer {
             })
             .collect();
         let weighted: f32 = (0..CHANNELS).map(|c| cache.mix[c] * dot[c]).sum();
-        for c in 0..CHANNELS {
-            let g = cache.mix[c] * (dot[c] - weighted);
+        for (c, &dot_c) in dot.iter().enumerate() {
+            let g = cache.mix[c] * (dot_c - weighted);
             self.beta_grad.set(c, 0, self.beta_grad.get(c, 0) + g);
         }
 
@@ -208,7 +209,9 @@ impl Model for AcmGcn {
         training: bool,
         rng: &mut StdRng,
     ) -> Result<DenseMatrix> {
-        let pre_hidden = self.layer1.forward(ctx, ctx.features(), &mut self.agg_time)?;
+        let pre_hidden = self
+            .layer1
+            .forward(ctx, ctx.features(), &mut self.agg_time)?;
         let activated = relu_forward(&pre_hidden);
         let (dropped, mask) = dropout_forward(&activated, self.dropout, training, rng);
         let logits = self.layer2.forward(ctx, &dropped, &mut self.agg_time)?;
@@ -217,10 +220,10 @@ impl Model for AcmGcn {
     }
 
     fn backward(&mut self, ctx: &GraphContext, grad_logits: &DenseMatrix) -> Result<()> {
-        let (pre_hidden, mask) =
-            self.hidden_cache
-                .take()
-                .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "AcmGcn" })?;
+        let (pre_hidden, mask) = self
+            .hidden_cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "AcmGcn" })?;
         let d_hidden = self.layer2.backward(ctx, grad_logits, &mut self.agg_time)?;
         let d_hidden = mask.backward(&d_hidden);
         let d_hidden = relu_backward(&d_hidden, &pre_hidden);
@@ -287,8 +290,7 @@ mod tests {
         let mut model = AcmGcn::new(&ctx, &hyper, &mut rng);
 
         let logits = model.forward(&ctx, false, &mut rng).unwrap();
-        let (_, grad) =
-            softmax_cross_entropy_masked(&logits, ctx.labels(), &split.train).unwrap();
+        let (_, grad) = softmax_cross_entropy_masked(&logits, ctx.labels(), &split.train).unwrap();
         model.zero_grad();
         model.backward(&ctx, &grad).unwrap();
         let analytic = model.layer1.beta_grad.get(1, 0);

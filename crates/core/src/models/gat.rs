@@ -96,7 +96,9 @@ impl GatLayer {
     fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
         let scale = (2.0 / out_features as f32).sqrt();
         let mut init = || {
-            DenseMatrix::from_fn(out_features, 1, |_, _| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+            DenseMatrix::from_fn(out_features, 1, |_, _| {
+                (rng.gen::<f32>() * 2.0 - 1.0) * scale
+            })
         };
         let a_src = init();
         let a_dst = init();
@@ -131,6 +133,9 @@ impl GatLayer {
             .collect()
     }
 
+    // Attention assembles several parallel per-node arrays; indexed loops are
+    // clearer than zipped iterators here.
+    #[allow(clippy::needless_range_loop)]
     fn forward(&mut self, x: &DenseMatrix, edges: &EdgeIndex) -> Result<DenseMatrix> {
         let z: DenseMatrix = self.linear.forward(x)?;
         let f = z.cols();
@@ -176,10 +181,12 @@ impl GatLayer {
         Ok(out)
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn backward(&mut self, grad_out: &DenseMatrix, edges: &EdgeIndex) -> Result<DenseMatrix> {
-        let cache = self.cache.take().ok_or(sigma_nn::NnError::MissingForwardCache {
-            layer: "GatLayer",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "GatLayer" })?;
         let z = &cache.z;
         let f = z.cols();
         let n = edges.num_nodes();
@@ -213,14 +220,15 @@ impl GatLayer {
         let mut d_t = vec![0.0f32; n];
         for i in 0..n {
             let range = edges.row_range(i);
-            let weighted_sum: f32 = range
-                .clone()
-                .map(|e| cache.alpha[e] * d_alpha[e])
-                .sum();
+            let weighted_sum: f32 = range.clone().map(|e| cache.alpha[e] * d_alpha[e]).sum();
             for (offset, &j) in edges.row(i).iter().enumerate() {
                 let e = range.start + offset;
                 let d_e = cache.alpha[e] * (d_alpha[e] - weighted_sum);
-                let d_raw = if cache.pre[e] > 0.0 { d_e } else { LEAKY_SLOPE * d_e };
+                let d_raw = if cache.pre[e] > 0.0 {
+                    d_e
+                } else {
+                    LEAKY_SLOPE * d_e
+                };
                 d_s[i] += d_raw;
                 d_t[j as usize] += d_raw;
             }
@@ -231,8 +239,10 @@ impl GatLayer {
         for i in 0..n {
             let z_row = z.row(i);
             for k in 0..f {
-                self.a_src_grad.set(k, 0, self.a_src_grad.get(k, 0) + d_s[i] * z_row[k]);
-                self.a_dst_grad.set(k, 0, self.a_dst_grad.get(k, 0) + d_t[i] * z_row[k]);
+                self.a_src_grad
+                    .set(k, 0, self.a_src_grad.get(k, 0) + d_s[i] * z_row[k]);
+                self.a_dst_grad
+                    .set(k, 0, self.a_dst_grad.get(k, 0) + d_t[i] * z_row[k]);
             }
             let d_row_start = i * f;
             let d_row = &mut d_z.as_mut_slice()[d_row_start..d_row_start + f];
@@ -320,10 +330,10 @@ impl Model for Gat {
     }
 
     fn backward(&mut self, _ctx: &GraphContext, grad_logits: &DenseMatrix) -> Result<()> {
-        let (pre_hidden, mask) =
-            self.hidden_cache
-                .take()
-                .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "Gat" })?;
+        let (pre_hidden, mask) = self
+            .hidden_cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "Gat" })?;
         let start = Instant::now();
         let d_hidden = self.layer2.backward(grad_logits, &self.edges)?;
         let d_hidden = mask.backward(&d_hidden);
@@ -396,8 +406,7 @@ mod tests {
         let mut model = Gat::new(&ctx, &hyper, &mut rng);
 
         let logits = model.forward(&ctx, false, &mut rng).unwrap();
-        let (_, grad) =
-            softmax_cross_entropy_masked(&logits, ctx.labels(), &split.train).unwrap();
+        let (_, grad) = softmax_cross_entropy_masked(&logits, ctx.labels(), &split.train).unwrap();
         model.zero_grad();
         model.backward(&ctx, &grad).unwrap();
         let analytic = model.layer1.a_src_grad.get(0, 0);

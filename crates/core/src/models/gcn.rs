@@ -97,9 +97,10 @@ impl Model for Gcn {
     }
 
     fn backward(&mut self, ctx: &GraphContext, grad_logits: &DenseMatrix) -> Result<()> {
-        let cache = self.cache.take().ok_or(sigma_nn::NnError::MissingForwardCache {
-            layer: "Gcn",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "Gcn" })?;
         let a_hat = ctx.sym_adj();
         let mut grad = grad_logits.clone();
         for idx in (0..self.layers.len()).rev() {

@@ -110,9 +110,10 @@ impl Model for Gcnii {
     }
 
     fn backward(&mut self, ctx: &GraphContext, grad_logits: &DenseMatrix) -> Result<()> {
-        let cache = self.cache.take().ok_or(sigma_nn::NnError::MissingForwardCache {
-            layer: "Gcnii",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "Gcnii" })?;
         let a_hat = ctx.sym_adj();
         let alpha = self.alpha as f32;
 
@@ -171,7 +172,11 @@ impl Model for Gcnii {
 
     fn num_parameters(&self) -> usize {
         self.input.num_parameters()
-            + self.blocks.iter().map(Linear::num_parameters).sum::<usize>()
+            + self
+                .blocks
+                .iter()
+                .map(Linear::num_parameters)
+                .sum::<usize>()
             + self.output.num_parameters()
     }
 

@@ -88,7 +88,12 @@ impl GloGnn {
 
     /// Applies the multi-hop operator `M(Z) = Σ_{k=1..k₂} β^k·Â^k·Z`,
     /// normalised so the hop weights sum to one.
-    fn multi_hop(&mut self, ctx: &GraphContext, z: &DenseMatrix, transpose: bool) -> Result<DenseMatrix> {
+    fn multi_hop(
+        &mut self,
+        ctx: &GraphContext,
+        z: &DenseMatrix,
+        transpose: bool,
+    ) -> Result<DenseMatrix> {
         let a_hat = ctx.sym_adj();
         let weight_sum: f64 = (1..=self.k2).map(|k| self.beta.powi(k as i32)).sum();
         let mut current = z.clone();
@@ -167,9 +172,10 @@ impl Model for GloGnn {
         // Adjoint of the iterative aggregation. The structural operator and
         // the coefficient term (with `H` held constant) are both linear and
         // self-adjoint, so each round maps `g ← (1−α)·round(g)`.
-        let h = self.cached_h.take().ok_or(sigma_nn::NnError::MissingForwardCache {
-            layer: "GloGnn",
-        })?;
+        let h = self
+            .cached_h
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "GloGnn" })?;
         let d_z = self.mlp_h.backward(grad_logits)?;
         let alpha = self.alpha as f32;
         let mut g = d_z.clone();

@@ -85,9 +85,10 @@ impl Model for GprGnn {
     }
 
     fn backward(&mut self, ctx: &GraphContext, grad_logits: &DenseMatrix) -> Result<()> {
-        let hop_features = self.cache.take().ok_or(sigma_nn::NnError::MissingForwardCache {
-            layer: "GprGnn",
-        })?;
+        let hop_features = self
+            .cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "GprGnn" })?;
         let a_hat = ctx.sym_adj();
         // dγ_k = <Â^k H, dZ>.
         for (k, hk) in hop_features.iter().enumerate() {

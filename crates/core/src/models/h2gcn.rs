@@ -82,9 +82,10 @@ impl Model for H2Gcn {
     }
 
     fn backward(&mut self, ctx: &GraphContext, grad_logits: &DenseMatrix) -> Result<()> {
-        let cache = self.cache.take().ok_or(sigma_nn::NnError::MissingForwardCache {
-            layer: "H2Gcn",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "H2Gcn" })?;
         let row_adj = ctx.row_adj();
         let a2 = ctx.require_two_hop("H2GCN")?.clone();
 
@@ -141,11 +142,9 @@ mod tests {
         let logits = model.forward(&ctx, false, &mut rng).unwrap();
         assert_eq!(logits.shape(), (ctx.num_nodes(), ctx.num_classes()));
 
-        let data = sigma_datasets::generate(
-            &sigma_datasets::GeneratorConfig::new(30, 4.0, 2, 4),
-            0,
-        )
-        .unwrap();
+        let data =
+            sigma_datasets::generate(&sigma_datasets::GeneratorConfig::new(30, 4.0, 2, 4), 0)
+                .unwrap();
         let bare = crate::ContextBuilder::new(data).build().unwrap();
         assert!(H2Gcn::new(&bare, &ModelHyperParams::small(), &mut rng).is_err());
     }

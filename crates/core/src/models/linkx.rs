@@ -60,7 +60,8 @@ impl Model for Linkx {
     ) -> Result<DenseMatrix> {
         let h_a = self.mlp_a.forward_sparse(ctx.adjacency(), training, rng)?;
         let h_x = self.mlp_x.forward(ctx.features(), training, rng)?;
-        let combined = h_x.linear_combination(self.delta as f32, (1.0 - self.delta) as f32, &h_a)?;
+        let combined =
+            h_x.linear_combination(self.delta as f32, (1.0 - self.delta) as f32, &h_a)?;
         Ok(self.mlp_h.forward(&combined, training, rng)?)
     }
 

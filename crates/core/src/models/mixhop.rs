@@ -91,9 +91,10 @@ impl Model for MixHop {
     }
 
     fn backward(&mut self, ctx: &GraphContext, grad_logits: &DenseMatrix) -> Result<()> {
-        let cache = self.cache.take().ok_or(sigma_nn::NnError::MissingForwardCache {
-            layer: "MixHop",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache { layer: "MixHop" })?;
         let a_hat = ctx.sym_adj();
         let a2 = ctx.require_two_hop("MixHop")?.clone();
 
@@ -160,11 +161,9 @@ mod tests {
         assert_eq!(logits.shape(), (ctx.num_nodes(), ctx.num_classes()));
         assert!(logits.is_finite());
 
-        let data = sigma_datasets::generate(
-            &sigma_datasets::GeneratorConfig::new(30, 4.0, 2, 4),
-            0,
-        )
-        .unwrap();
+        let data =
+            sigma_datasets::generate(&sigma_datasets::GeneratorConfig::new(30, 4.0, 2, 4), 0)
+                .unwrap();
         let bare = crate::ContextBuilder::new(data).build().unwrap();
         assert!(MixHop::new(&bare, &ModelHyperParams::small(), &mut rng).is_err());
     }

@@ -98,11 +98,9 @@ mod tests {
         let logits = model.forward(&ctx, false, &mut rng).unwrap();
         assert_eq!(logits.shape(), (ctx.num_nodes(), ctx.num_classes()));
 
-        let data = sigma_datasets::generate(
-            &sigma_datasets::GeneratorConfig::new(30, 4.0, 2, 4),
-            0,
-        )
-        .unwrap();
+        let data =
+            sigma_datasets::generate(&sigma_datasets::GeneratorConfig::new(30, 4.0, 2, 4), 0)
+                .unwrap();
         let bare = crate::ContextBuilder::new(data).build().unwrap();
         assert!(PprGo::new(&bare, &ModelHyperParams::small(), &mut rng).is_err());
     }

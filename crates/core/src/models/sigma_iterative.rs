@@ -107,9 +107,12 @@ impl Model for SigmaIterative {
     }
 
     fn backward(&mut self, ctx: &GraphContext, grad_logits: &DenseMatrix) -> Result<()> {
-        let cache = self.cache.take().ok_or(sigma_nn::NnError::MissingForwardCache {
-            layer: "SigmaIterative",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache {
+                layer: "SigmaIterative",
+            })?;
         let s = ctx.require_simrank("SIGMA-iter")?.clone();
         let mut grad = grad_logits.clone();
         for idx in (0..self.layers.len()).rev() {
@@ -151,7 +154,11 @@ impl Model for SigmaIterative {
     fn num_parameters(&self) -> usize {
         self.embed_x.num_parameters()
             + self.embed_a.num_parameters()
-            + self.layers.iter().map(Linear::num_parameters).sum::<usize>()
+            + self
+                .layers
+                .iter()
+                .map(Linear::num_parameters)
+                .sum::<usize>()
     }
 
     fn take_aggregation_time(&mut self) -> Duration {
@@ -181,11 +188,9 @@ mod tests {
 
     #[test]
     fn requires_simrank() {
-        let data = sigma_datasets::generate(
-            &sigma_datasets::GeneratorConfig::new(30, 4.0, 2, 4),
-            0,
-        )
-        .unwrap();
+        let data =
+            sigma_datasets::generate(&sigma_datasets::GeneratorConfig::new(30, 4.0, 2, 4), 0)
+                .unwrap();
         let ctx = crate::ContextBuilder::new(data).build().unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         assert!(SigmaIterative::new(&ctx, &ModelHyperParams::small(), 2, &mut rng).is_err());
@@ -198,7 +203,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut model = SigmaIterative::new(&ctx, &ModelHyperParams::small(), 1, &mut rng).unwrap();
         let (initial, final_acc) = train_briefly(&mut model, &ctx, &split, 80);
-        assert!(final_acc > initial || final_acc > 0.6, "{initial} -> {final_acc}");
+        assert!(
+            final_acc > initial || final_acc > 0.6,
+            "{initial} -> {final_acc}"
+        );
         assert!(model.take_aggregation_time() > Duration::ZERO);
     }
 }

@@ -21,6 +21,7 @@
 //! * learnable `α` — the convergent values reported in Table X.
 
 use crate::models::{timed_spmm, timed_spmm_transpose};
+use crate::snapshot::ModelSnapshot;
 use crate::{GraphContext, Model, ModelHyperParams, Result};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -165,6 +166,66 @@ impl SigmaModel {
         self.cache.as_ref().map(|c| (&c.h, &c.z_hat))
     }
 
+    /// Captures the trained model as a self-contained [`ModelSnapshot`].
+    ///
+    /// The aggregation operator is resolved against `ctx` exactly as
+    /// [`Model::forward`] would resolve it, so the snapshot serves with the
+    /// same operator the model trained on.
+    pub fn snapshot(&self, ctx: &GraphContext) -> Result<ModelSnapshot> {
+        let operator = self.operator(ctx)?.cloned();
+        let snapshot = ModelSnapshot {
+            delta: self.delta,
+            alpha: self.alpha_fixed,
+            alpha_raw: self.alpha_raw.as_ref().map(|raw| raw.get(0, 0)),
+            dropout: self.mlp_h.dropout(),
+            aggregator: self.aggregator,
+            operator,
+            mlp_a: self.mlp_a.export_weights(),
+            mlp_x: self.mlp_x.export_weights(),
+            mlp_h: self.mlp_h.export_weights(),
+        };
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// Rebuilds a model from a snapshot.
+    ///
+    /// The restored model is immediately trainable and, in eval mode,
+    /// produces logits bitwise-identical to the snapshotted model when run
+    /// against a context holding the same operators (for
+    /// [`AggregatorKind::SimRank`] / [`AggregatorKind::Ppr`], pair it with
+    /// [`crate::ContextBuilder::with_simrank_operator`] /
+    /// `with_ppr`-provisioned contexts; the `S·A` variant carries its local
+    /// operator inside the snapshot).
+    pub fn restore(snapshot: &ModelSnapshot) -> Result<Self> {
+        snapshot.validate()?;
+        let rebuild = |stack: &crate::snapshot::MlpWeights, dropout: f32| -> Result<Mlp> {
+            let layers = stack
+                .iter()
+                .map(|(w, b)| sigma_nn::Linear::from_parts(w.clone(), b.clone()))
+                .collect::<sigma_nn::Result<Vec<_>>>()?;
+            Ok(Mlp::from_layers(layers, dropout)?)
+        };
+        let local_operator = if snapshot.aggregator == AggregatorKind::SimRankTimesA {
+            snapshot.operator.clone()
+        } else {
+            None
+        };
+        Ok(Self {
+            mlp_a: rebuild(&snapshot.mlp_a, snapshot.dropout)?,
+            mlp_x: rebuild(&snapshot.mlp_x, snapshot.dropout)?,
+            mlp_h: rebuild(&snapshot.mlp_h, snapshot.dropout)?,
+            delta: snapshot.delta,
+            alpha_fixed: snapshot.alpha,
+            alpha_raw: snapshot.alpha_raw.map(|raw| DenseMatrix::filled(1, 1, raw)),
+            alpha_grad: DenseMatrix::zeros(1, 1),
+            aggregator: snapshot.aggregator,
+            local_operator,
+            cache: None,
+            agg_time: Duration::ZERO,
+        })
+    }
+
     fn operator<'a>(&'a self, ctx: &'a GraphContext) -> Result<Option<&'a CsrMatrix>> {
         match self.aggregator {
             AggregatorKind::SimRank => Ok(Some(ctx.require_simrank("SIGMA")?)),
@@ -197,7 +258,8 @@ impl Model for SigmaModel {
         // Eq. (4): decoupled embeddings of topology and attributes.
         let h_a = self.mlp_a.forward_sparse(ctx.adjacency(), training, rng)?;
         let h_x = self.mlp_x.forward(ctx.features(), training, rng)?;
-        let combined = h_x.linear_combination(self.delta as f32, (1.0 - self.delta) as f32, &h_a)?;
+        let combined =
+            h_x.linear_combination(self.delta as f32, (1.0 - self.delta) as f32, &h_a)?;
         let h = self.mlp_h.forward(&combined, training, rng)?;
 
         // Eq. (5): one-shot global aggregation with the constant operator.
@@ -214,9 +276,12 @@ impl Model for SigmaModel {
     }
 
     fn backward(&mut self, ctx: &GraphContext, grad_logits: &DenseMatrix) -> Result<()> {
-        let cache = self.cache.take().ok_or(sigma_nn::NnError::MissingForwardCache {
-            layer: "SigmaModel",
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or(sigma_nn::NnError::MissingForwardCache {
+                layer: "SigmaModel",
+            })?;
         let alpha = self.alpha() as f32;
 
         // Learnable α: dL/dα = Σ (H − Ẑ) ⊙ dZ, then through the sigmoid.
@@ -314,18 +379,19 @@ mod tests {
                     .unwrap();
             let logits = model.forward(&ctx, false, &mut rng).unwrap();
             assert_eq!(logits.shape(), (ctx.num_nodes(), ctx.num_classes()));
-            assert!(logits.is_finite(), "{aggregator:?} produced non-finite logits");
+            assert!(
+                logits.is_finite(),
+                "{aggregator:?} produced non-finite logits"
+            );
             assert_eq!(model.aggregator(), aggregator);
         }
     }
 
     #[test]
     fn requires_simrank_operator() {
-        let data = sigma_datasets::generate(
-            &sigma_datasets::GeneratorConfig::new(30, 4.0, 2, 4),
-            0,
-        )
-        .unwrap();
+        let data =
+            sigma_datasets::generate(&sigma_datasets::GeneratorConfig::new(30, 4.0, 2, 4), 0)
+                .unwrap();
         let ctx = crate::ContextBuilder::new(data).build().unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let err = SigmaModel::new(&ctx, &ModelHyperParams::small(), &mut rng).unwrap_err();
@@ -338,7 +404,9 @@ mod tests {
         // the whole backward chain including the aggregation operator.
         let ctx = small_context();
         let split = split_for(&ctx);
-        let hyper = ModelHyperParams::small().with_dropout(0.0).with_learnable_alpha(true);
+        let hyper = ModelHyperParams::small()
+            .with_dropout(0.0)
+            .with_learnable_alpha(true);
         let mut rng = StdRng::seed_from_u64(3);
         let mut model = SigmaModel::new(&ctx, &hyper, &mut rng).unwrap();
 
@@ -376,7 +444,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut full = SigmaModel::new(&ctx, &hyper, &mut rng).unwrap();
         let (_, full_acc) = train_briefly(&mut full, &ctx, &split, 80);
-        assert!(full_acc > 0.6, "SIGMA failed to fit its training split: {full_acc}");
+        assert!(
+            full_acc > 0.6,
+            "SIGMA failed to fit its training split: {full_acc}"
+        );
         // Aggregation time was measured.
         assert!(full.take_aggregation_time() > Duration::ZERO);
     }
@@ -385,14 +456,19 @@ mod tests {
     fn learnable_alpha_moves_during_training() {
         let ctx = small_context();
         let split = split_for(&ctx);
-        let hyper = ModelHyperParams::small().with_learnable_alpha(true).with_alpha(0.5);
+        let hyper = ModelHyperParams::small()
+            .with_learnable_alpha(true)
+            .with_alpha(0.5);
         let mut rng = StdRng::seed_from_u64(6);
         let mut model = SigmaModel::new(&ctx, &hyper, &mut rng).unwrap();
         let before = model.alpha();
         let _ = train_briefly(&mut model, &ctx, &split, 40);
         let after = model.alpha();
         assert!((before - 0.5).abs() < 1e-6);
-        assert!((after - before).abs() > 1e-4, "alpha did not move: {before} -> {after}");
+        assert!(
+            (after - before).abs() > 1e-4,
+            "alpha did not move: {before} -> {after}"
+        );
         assert!((0.0..=1.0).contains(&after));
     }
 
@@ -406,6 +482,69 @@ mod tests {
         let (h, z_hat) = model.last_embeddings().unwrap();
         assert_eq!(h.rows(), ctx.num_nodes());
         assert_eq!(z_hat.rows(), ctx.num_nodes());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_is_exact() {
+        let ctx = small_context();
+        let split = split_for(&ctx);
+        let hyper = ModelHyperParams::small().with_learnable_alpha(true);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut model = SigmaModel::new(&ctx, &hyper, &mut rng).unwrap();
+        let _ = train_briefly(&mut model, &ctx, &split, 20);
+
+        let snapshot = model.snapshot(&ctx).unwrap();
+        assert_eq!(snapshot.num_nodes(), ctx.num_nodes());
+        assert_eq!(snapshot.feature_dim(), ctx.feature_dim());
+        assert_eq!(snapshot.num_classes(), ctx.num_classes());
+        assert_eq!(snapshot.num_parameters(), model.num_parameters());
+        assert!((snapshot.effective_alpha() - model.alpha()).abs() < 1e-9);
+
+        let mut restored = SigmaModel::restore(&snapshot).unwrap();
+        assert_eq!(restored.num_parameters(), model.num_parameters());
+        let mut rng_eval = StdRng::seed_from_u64(0);
+        let original = model.forward(&ctx, false, &mut rng_eval).unwrap();
+        let recovered = restored.forward(&ctx, false, &mut rng_eval).unwrap();
+        assert_eq!(
+            original, recovered,
+            "restored model must reproduce eval-mode logits bitwise"
+        );
+        // The restored model trains further without errors.
+        let (_, acc) = train_briefly(&mut restored, &ctx, &split, 5);
+        assert!(acc.is_finite());
+    }
+
+    #[test]
+    fn snapshot_validation_rejects_corrupted_records() {
+        let ctx = small_context();
+        let mut rng = StdRng::seed_from_u64(29);
+        let model = SigmaModel::new(&ctx, &ModelHyperParams::small(), &mut rng).unwrap();
+        let good = model.snapshot(&ctx).unwrap();
+
+        let mut missing_operator = good.clone();
+        missing_operator.operator = None;
+        assert!(SigmaModel::restore(&missing_operator).is_err());
+
+        let mut bad_operator = good.clone();
+        bad_operator.operator = Some(CsrMatrix::identity(3));
+        assert!(SigmaModel::restore(&bad_operator).is_err());
+
+        // A bias narrower than its weight's output width must fail
+        // validation (an engine would otherwise silently mis-bias logits).
+        let mut bad_bias = good.clone();
+        bad_bias.mlp_h[0].1 = DenseMatrix::zeros(1, 1);
+        assert!(bad_bias.validate().is_err());
+
+        // Consecutive layers that do not chain are rejected.
+        let mut bad_chain = good.clone();
+        bad_chain
+            .mlp_h
+            .push((DenseMatrix::zeros(999, 4), DenseMatrix::zeros(1, 4)));
+        assert!(bad_chain.validate().is_err());
+
+        let mut empty_stack = good;
+        empty_stack.mlp_h.clear();
+        assert!(SigmaModel::restore(&empty_stack).is_err());
     }
 
     #[test]

@@ -109,8 +109,8 @@ impl Trainer {
             });
         }
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut optimizer = Adam::new(self.config.learning_rate)
-            .with_weight_decay(self.config.weight_decay);
+        let mut optimizer =
+            Adam::new(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
         let labels = ctx.labels();
 
         let mut best_val = f32::NEG_INFINITY;
@@ -212,7 +212,11 @@ mod tests {
             .unwrap();
         assert_eq!(report.model, "SIGMA");
         assert_eq!(report.epochs_run, 30);
-        assert!(report.best_val_accuracy > 0.3, "val acc {}", report.best_val_accuracy);
+        assert!(
+            report.best_val_accuracy > 0.3,
+            "val acc {}",
+            report.best_val_accuracy
+        );
         assert!(report.final_train_loss.is_finite());
         assert!(!report.history.is_empty());
         assert!(report.aggregation_time > Duration::ZERO);
@@ -233,7 +237,9 @@ mod tests {
             patience: 5,
             ..quick_config(500)
         };
-        let report = Trainer::new(cfg).train(model.as_mut(), &ctx, &split, 2).unwrap();
+        let report = Trainer::new(cfg)
+            .train(model.as_mut(), &ctx, &split, 2)
+            .unwrap();
         assert!(report.epochs_run < 500, "early stopping never triggered");
     }
 

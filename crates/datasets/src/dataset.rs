@@ -72,7 +72,8 @@ mod tests {
     use sigma_graph::Graph;
 
     fn toy_dataset() -> Dataset {
-        let graph = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let graph =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         Dataset {
             name: "toy".to_string(),
             graph,

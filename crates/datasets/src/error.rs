@@ -82,9 +82,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = DatasetError::InvalidConfig { name: "num_nodes", reason: "must be > 0".into() };
+        let e = DatasetError::InvalidConfig {
+            name: "num_nodes",
+            reason: "must be > 0".into(),
+        };
         assert!(e.to_string().contains("num_nodes"));
-        let e = DatasetError::InvalidSplit { reason: "fractions exceed 1".into() };
+        let e = DatasetError::InvalidSplit {
+            reason: "fractions exceed 1".into(),
+        };
         assert!(e.to_string().contains("fractions"));
         let e: DatasetError = sigma_graph::GraphError::EmptyGraph.into();
         assert!(std::error::Error::source(&e).is_some());

@@ -165,7 +165,11 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Dataset> {
             cu
         } else {
             // Structured heterophily: neighbouring "role" classes on a ring.
-            let offset = if c == 2 || rng.gen_bool(0.5) { 1 } else { c - 1 };
+            let offset = if c == 2 || rng.gen_bool(0.5) {
+                1
+            } else {
+                c - 1
+            };
             (cu + offset) % c
         };
         let bucket = &by_class[target_class];

@@ -105,8 +105,8 @@ pub fn load_dataset<P: AsRef<Path>>(dir: P) -> Result<Dataset> {
             .parse()
             .map_err(|_| parse_err("features.tsv", line_no + 1, "label must be an integer"))?;
         let row: std::result::Result<Vec<f32>, _> = parts.map(str::parse::<f32>).collect();
-        let row = row
-            .map_err(|_| parse_err("features.tsv", line_no + 1, "features must be numbers"))?;
+        let row =
+            row.map_err(|_| parse_err("features.tsv", line_no + 1, "features must be numbers"))?;
         if let Some(first) = rows.first() {
             if row.len() != first.len() {
                 return Err(parse_err(
@@ -158,7 +158,8 @@ mod tests {
     use crate::{generate, GeneratorConfig};
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("sigma-datasets-io-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("sigma-datasets-io-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -211,9 +212,15 @@ mod tests {
         let dir = temp_dir("badmeta");
         save_dataset(&data, &dir).unwrap();
         std::fs::write(dir.join("meta.tsv"), "num_classes\tnot-a-number\n").unwrap();
-        assert!(matches!(load_dataset(&dir).unwrap_err(), DatasetError::Parse { .. }));
+        assert!(matches!(
+            load_dataset(&dir).unwrap_err(),
+            DatasetError::Parse { .. }
+        ));
         std::fs::write(dir.join("meta.tsv"), "mystery\t7\n").unwrap();
-        assert!(matches!(load_dataset(&dir).unwrap_err(), DatasetError::Parse { .. }));
+        assert!(matches!(
+            load_dataset(&dir).unwrap_err(),
+            DatasetError::Parse { .. }
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -258,7 +258,11 @@ impl DatasetPreset {
         // Feature signal/noise: heterophilous web graphs in the paper carry
         // weaker feature signal than citation graphs; keep a moderate SNR
         // that leaves headroom for structure to matter.
-        let (signal, noise) = if stats.homophily < 0.3 { (0.9, 1.0) } else { (1.2, 1.0) };
+        let (signal, noise) = if stats.homophily < 0.3 {
+            (0.9, 1.0)
+        } else {
+            (1.2, 1.0)
+        };
         GeneratorConfig::new(nodes, avg_degree, stats.classes, stats.repro_features)
             .with_name(stats.name)
             .with_homophily(stats.homophily)
@@ -307,7 +311,11 @@ mod tests {
         assert_eq!(data.num_nodes(), stats.repro_nodes);
         assert_eq!(data.feature_dim(), stats.repro_features);
         let h = data.node_homophily().unwrap();
-        assert!((h - stats.homophily).abs() < 0.15, "homophily {h} vs target {}", stats.homophily);
+        assert!(
+            (h - stats.homophily).abs() < 0.15,
+            "homophily {h} vs target {}",
+            stats.homophily
+        );
     }
 
     #[test]
@@ -323,7 +331,10 @@ mod tests {
         let large = DatasetPreset::Pokec.build(1.5, 0).unwrap();
         assert!(large.num_nodes() > small.num_nodes());
         let stats = DatasetPreset::Pokec.stats();
-        assert_eq!(small.num_nodes(), (stats.repro_nodes as f64 * 0.5).round() as usize);
+        assert_eq!(
+            small.num_nodes(),
+            (stats.repro_nodes as f64 * 0.5).round() as usize
+        );
     }
 
     #[test]

@@ -40,10 +40,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node id {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node id {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
             GraphError::LabelLengthMismatch { expected, actual } => {
-                write!(f, "attribute length {actual} does not match node count {expected}")
+                write!(
+                    f,
+                    "attribute length {actual} does not match node count {expected}"
+                )
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             GraphError::Matrix(e) => write!(f, "matrix error: {e}"),
@@ -76,9 +82,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = GraphError::NodeOutOfBounds { node: 9, num_nodes: 4 };
+        let e = GraphError::NodeOutOfBounds {
+            node: 9,
+            num_nodes: 4,
+        };
         assert!(e.to_string().contains("9"));
-        let e = GraphError::LabelLengthMismatch { expected: 3, actual: 5 };
+        let e = GraphError::LabelLengthMismatch {
+            expected: 3,
+            actual: 5,
+        };
         assert!(e.to_string().contains("5"));
         assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
     }

@@ -144,7 +144,9 @@ impl Graph {
 
     /// Nodes with no incident edges.
     pub fn isolated_nodes(&self) -> Vec<usize> {
-        (0..self.num_nodes).filter(|&v| self.degree(v) == 0).collect()
+        (0..self.num_nodes)
+            .filter(|&v| self.degree(v) == 0)
+            .collect()
     }
 
     /// The raw CSR row-pointer array.

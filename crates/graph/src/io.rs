@@ -81,13 +81,8 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
         }
         edges.push((u, v));
     }
-    let num_nodes = num_nodes.unwrap_or_else(|| {
-        edges
-            .iter()
-            .map(|&(u, v)| u.max(v) + 1)
-            .max()
-            .unwrap_or(0)
-    });
+    let num_nodes =
+        num_nodes.unwrap_or_else(|| edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0));
     Graph::from_edges(num_nodes, &edges)
 }
 

@@ -56,9 +56,9 @@ pub fn transition_matrix(graph: &Graph) -> CsrMatrix {
 pub fn sym_normalized_adjacency(graph: &Graph) -> CsrMatrix {
     let n = graph.num_nodes();
     let mut inv_sqrt_deg = vec![0.0f32; n];
-    for v in 0..n {
+    for (v, inv) in inv_sqrt_deg.iter_mut().enumerate() {
         // Degree including the self loop.
-        inv_sqrt_deg[v] = 1.0 / ((graph.degree(v) + 1) as f32).sqrt();
+        *inv = 1.0 / ((graph.degree(v) + 1) as f32).sqrt();
     }
     let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(graph.num_arcs() + n);
     for u in 0..n {
@@ -78,11 +78,13 @@ pub fn sym_normalized_adjacency(graph: &Graph) -> CsrMatrix {
 /// mismatch; `power == 0` yields the identity.
 pub fn adjacency_power(operator: &CsrMatrix, power: usize) -> Result<CsrMatrix> {
     if operator.rows() != operator.cols() {
-        return Err(GraphError::Matrix(sigma_matrix::MatrixError::DimensionMismatch {
-            op: "adjacency_power",
-            lhs: operator.shape(),
-            rhs: operator.shape(),
-        }));
+        return Err(GraphError::Matrix(
+            sigma_matrix::MatrixError::DimensionMismatch {
+                op: "adjacency_power",
+                lhs: operator.shape(),
+                rhs: operator.shape(),
+            },
+        ));
     }
     let n = operator.rows();
     if power == 0 {

@@ -9,12 +9,7 @@ use sigma_graph::{
 const MAX_NODES: usize = 24;
 
 fn edge_list() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2..MAX_NODES).prop_flat_map(|n| {
-        (
-            Just(n),
-            prop::collection::vec((0..n, 0..n), 0..n * 3),
-        )
-    })
+    (2..MAX_NODES).prop_flat_map(|n| (Just(n), prop::collection::vec((0..n, 0..n), 0..n * 3)))
 }
 
 proptest! {

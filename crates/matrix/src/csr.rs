@@ -22,7 +22,11 @@ impl CsrMatrix {
     ///
     /// Duplicate coordinates are summed. Entries equal to zero are kept out
     /// of the structure. Returns an error if any coordinate is out of bounds.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Result<Self> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self> {
         for &(r, c, v) in triplets {
             if r >= rows || c >= cols {
                 return Err(MatrixError::IndexOutOfBounds {
@@ -32,7 +36,9 @@ impl CsrMatrix {
                 });
             }
             if !v.is_finite() {
-                return Err(MatrixError::NonFiniteValue { op: "from_triplets" });
+                return Err(MatrixError::NonFiniteValue {
+                    op: "from_triplets",
+                });
             }
         }
         // Sort triplet positions by (row, col) so rows are contiguous and
@@ -224,10 +230,10 @@ impl CsrMatrix {
                 len: factors.len(),
             });
         }
-        for r in 0..self.rows {
+        for (r, &factor) in factors.iter().enumerate() {
             let (start, end) = (self.indptr[r], self.indptr[r + 1]);
             for v in &mut self.values[start..end] {
-                *v *= factors[r];
+                *v *= factor;
             }
         }
         Ok(())
@@ -424,6 +430,83 @@ impl CsrMatrix {
         }
     }
 
+    /// Extracts the given rows (in order, duplicates allowed) as a new
+    /// `rows.len() × cols` CSR matrix.
+    ///
+    /// This is the operator-slicing primitive behind online inference: a
+    /// query batch of `b` nodes only needs the `b` corresponding rows of the
+    /// top-k aggregation operator, so the slice costs `O(b·k)` instead of
+    /// touching all `n` rows.
+    pub fn gather_rows(&self, rows: &[usize]) -> Result<CsrMatrix> {
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        indptr.push(0usize);
+        let nnz_estimate: usize = rows
+            .iter()
+            .map(|&r| if r < self.rows { self.row_nnz(r) } else { 0 })
+            .sum();
+        let mut indices: Vec<u32> = Vec::with_capacity(nnz_estimate);
+        let mut values: Vec<f32> = Vec::with_capacity(nnz_estimate);
+        for &r in rows {
+            if r >= self.rows {
+                return Err(MatrixError::IndexOutOfBounds {
+                    row: r,
+                    col: 0,
+                    shape: self.shape(),
+                });
+            }
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            indices.extend_from_slice(&self.indices[start..end]);
+            values.extend_from_slice(&self.values[start..end]);
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix {
+            rows: rows.len(),
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Row-sliced sparse × dense product: `self[rows, :] · rhs`.
+    ///
+    /// Returns a `rows.len() × rhs.cols()` dense matrix whose `i`-th row is
+    /// `Σ_j self[rows[i], j] · rhs[j, :]`. Equivalent to
+    /// `gather_rows(rows)?.spmm(rhs)` but without materialising the slice;
+    /// for a batch of `b` rows of a top-k operator this is `O(b·k·f)` versus
+    /// the `O(n·k·f)` of a full [`CsrMatrix::spmm`].
+    pub fn spmm_rows(&self, rows: &[usize], rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != rhs.rows() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "spmm_rows",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let f = rhs.cols();
+        let mut out = DenseMatrix::zeros(rows.len(), f);
+        for (dst, &r) in rows.iter().enumerate() {
+            if r >= self.rows {
+                return Err(MatrixError::IndexOutOfBounds {
+                    row: r,
+                    col: 0,
+                    shape: self.shape(),
+                });
+            }
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            let out_row = out.row_mut(dst);
+            for idx in start..end {
+                let c = self.indices[idx] as usize;
+                let v = self.values[idx];
+                let rhs_row = rhs.row(c);
+                for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += v * x;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Converts to a dense matrix. Intended for tests and small graphs only.
     pub fn to_dense(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.rows, self.cols);
@@ -588,7 +671,13 @@ mod tests {
         let m = CsrMatrix::from_triplets(
             1,
             5,
-            &[(0, 0, 0.1), (0, 1, -0.9), (0, 2, 0.5), (0, 3, 0.2), (0, 4, 0.05)],
+            &[
+                (0, 0, 0.1),
+                (0, 1, -0.9),
+                (0, 2, 0.5),
+                (0, 3, 0.2),
+                (0, 4, 0.05),
+            ],
         )
         .unwrap();
         let pruned = m.top_k_per_row(2);
@@ -639,6 +728,105 @@ mod tests {
         let s = CsrMatrix::from_dense(&d, 0.01);
         assert_eq!(s.nnz(), 1);
         assert_eq!(s.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn gather_rows_selects_and_reorders() {
+        let m = sample();
+        let g = m.gather_rows(&[1, 1, 0]).unwrap();
+        assert_eq!(g.shape(), (3, 3));
+        assert_eq!(g.nnz(), 5);
+        assert_eq!(g.get(0, 0), 1.0);
+        assert_eq!(g.get(0, 2), 3.0);
+        assert_eq!(g.get(1, 2), 3.0);
+        assert_eq!(g.get(2, 1), 2.0);
+        // Empty selection produces a 0 × cols matrix.
+        let empty = m.gather_rows(&[]).unwrap();
+        assert_eq!(empty.shape(), (0, 3));
+        assert_eq!(empty.nnz(), 0);
+        // Out-of-bounds rows are rejected.
+        assert!(m.gather_rows(&[3]).is_err());
+    }
+
+    #[test]
+    fn spmm_rows_matches_full_spmm() {
+        let m = sample();
+        let x = DenseMatrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.25 - 1.0);
+        let full = m.spmm(&x).unwrap();
+        let rows = [2usize, 0, 1, 0];
+        let sliced = m.spmm_rows(&rows, &x).unwrap();
+        assert_eq!(sliced.shape(), (4, 4));
+        for (dst, &src) in rows.iter().enumerate() {
+            assert_eq!(sliced.row(dst), full.row(src));
+        }
+        // Agreement with the gather-then-spmm formulation.
+        let via_gather = m.gather_rows(&rows).unwrap().spmm(&x).unwrap();
+        assert_eq!(sliced, via_gather);
+    }
+
+    #[test]
+    fn spmm_rows_validates_shapes_and_bounds() {
+        let m = sample();
+        assert!(m.spmm_rows(&[0], &DenseMatrix::zeros(4, 2)).is_err());
+        assert!(m.spmm_rows(&[9], &DenseMatrix::zeros(3, 2)).is_err());
+        let empty = m.spmm_rows(&[], &DenseMatrix::zeros(3, 2)).unwrap();
+        assert_eq!(empty.shape(), (0, 2));
+    }
+
+    #[test]
+    fn top_k_zero_empties_every_row() {
+        let m = sample();
+        let pruned = m.top_k_per_row(0);
+        assert_eq!(pruned.shape(), m.shape());
+        assert_eq!(pruned.nnz(), 0);
+        for r in 0..3 {
+            assert_eq!(pruned.row_nnz(r), 0);
+        }
+    }
+
+    #[test]
+    fn top_k_on_empty_rows_and_empty_matrix() {
+        // Row 2 of the sample is structurally empty and must stay empty.
+        let m = sample();
+        let pruned = m.top_k_per_row(1);
+        assert_eq!(pruned.row_nnz(2), 0);
+        assert_eq!(pruned.row_nnz(0), 1);
+        // A matrix with no stored entries at all survives pruning.
+        let zero = CsrMatrix::from_triplets(3, 3, &[]).unwrap();
+        assert_eq!(zero.top_k_per_row(2), zero);
+        // Degenerate 0 × 0 matrix.
+        let nil = CsrMatrix::from_triplets(0, 0, &[]).unwrap();
+        assert_eq!(nil.top_k_per_row(3).shape(), (0, 0));
+    }
+
+    #[test]
+    fn top_k_at_exact_row_nnz_is_identity() {
+        let m = sample();
+        // Row 1 holds exactly two entries; k = 2 must keep both.
+        let pruned = m.top_k_per_row(2);
+        assert_eq!(pruned, m);
+    }
+
+    #[test]
+    fn row_normalize_handles_zero_and_cancelling_rows() {
+        // Row 0 sums to zero by cancellation, row 1 is structurally empty.
+        let mut m =
+            CsrMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (0, 1, -2.0), (2, 2, 4.0)]).unwrap();
+        m.row_normalize();
+        // Cancelling rows are left untouched (no division by zero, no NaN).
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 1), -2.0);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.get(2, 2), 1.0);
+        assert!(m.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn row_normalize_on_all_zero_matrix_is_noop() {
+        let mut zero = CsrMatrix::from_triplets(2, 2, &[]).unwrap();
+        let before = zero.clone();
+        zero.row_normalize();
+        assert_eq!(zero, before);
     }
 
     #[test]

@@ -244,7 +244,12 @@ impl DenseMatrix {
     }
 
     /// Returns `alpha * self + beta * other` as a new matrix.
-    pub fn linear_combination(&self, alpha: f32, beta: f32, other: &DenseMatrix) -> Result<DenseMatrix> {
+    pub fn linear_combination(
+        &self,
+        alpha: f32,
+        beta: f32,
+        other: &DenseMatrix,
+    ) -> Result<DenseMatrix> {
         self.check_same_shape("linear_combination", other)?;
         let data = self
             .data

@@ -62,9 +62,14 @@ mod tests {
     fn display_contains_context() {
         let e = NnError::MissingForwardCache { layer: "Linear" };
         assert!(e.to_string().contains("Linear"));
-        let e = NnError::InvalidHyperParameter { name: "lr", value: -1.0 };
+        let e = NnError::InvalidHyperParameter {
+            name: "lr",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("lr"));
-        let e = NnError::InvalidLabels { reason: "too short".into() };
+        let e = NnError::InvalidLabels {
+            reason: "too short".into(),
+        };
         assert!(e.to_string().contains("too short"));
     }
 

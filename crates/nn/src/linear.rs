@@ -35,6 +35,36 @@ impl Linear {
         }
     }
 
+    /// Rebuilds a layer from exported parameters (snapshot restore path).
+    ///
+    /// `weight` must be `in × out` and `bias` must be `1 × out`; gradients
+    /// and caches start cleared, so the layer is immediately usable for both
+    /// inference and further training.
+    pub fn from_parts(weight: DenseMatrix, bias: DenseMatrix) -> Result<Self> {
+        if bias.rows() != 1 || bias.cols() != weight.cols() {
+            return Err(sigma_matrix::MatrixError::DimensionMismatch {
+                op: "Linear::from_parts",
+                lhs: weight.shape(),
+                rhs: bias.shape(),
+            }
+            .into());
+        }
+        let (in_features, out_features) = weight.shape();
+        Ok(Self {
+            weight,
+            bias,
+            grad_weight: DenseMatrix::zeros(in_features, out_features),
+            grad_bias: DenseMatrix::zeros(1, out_features),
+            cached_input: None,
+            cached_sparse_input: None,
+        })
+    }
+
+    /// Exports the trainable parameters as `(weight, bias)` clones.
+    pub fn export_parts(&self) -> (DenseMatrix, DenseMatrix) {
+        (self.weight.clone(), self.bias.clone())
+    }
+
     /// Input dimensionality.
     pub fn in_features(&self) -> usize {
         self.weight.rows()
@@ -119,7 +149,11 @@ impl Linear {
 
     /// Applies the accumulated gradients with `optimizer`. `key_base` must be
     /// unique per layer within a model (each layer consumes two keys).
-    pub fn apply_gradients(&mut self, optimizer: &mut dyn Optimizer, key_base: usize) -> Result<()> {
+    pub fn apply_gradients(
+        &mut self,
+        optimizer: &mut dyn Optimizer,
+        key_base: usize,
+    ) -> Result<()> {
         optimizer.update(key_base, &mut self.weight, &self.grad_weight)?;
         optimizer.update(key_base + 1, &mut self.bias, &self.grad_bias)?;
         Ok(())
@@ -212,7 +246,8 @@ mod tests {
     fn sparse_forward_matches_dense_forward() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut layer = Linear::new(3, 2, &mut rng);
-        let sparse = CsrMatrix::from_triplets(4, 3, &[(0, 1, 1.0), (2, 0, 2.0), (3, 2, -1.0)]).unwrap();
+        let sparse =
+            CsrMatrix::from_triplets(4, 3, &[(0, 1, 1.0), (2, 0, 2.0), (3, 2, -1.0)]).unwrap();
         let dense = sparse.to_dense();
         let y_sparse = layer.forward_sparse(&sparse).unwrap();
         let y_dense = layer.forward(&dense).unwrap();
@@ -224,7 +259,8 @@ mod tests {
     #[test]
     fn sparse_backward_matches_dense_backward() {
         let mut rng = StdRng::seed_from_u64(6);
-        let sparse = CsrMatrix::from_triplets(4, 3, &[(0, 1, 1.0), (2, 0, 2.0), (3, 2, -1.0)]).unwrap();
+        let sparse =
+            CsrMatrix::from_triplets(4, 3, &[(0, 1, 1.0), (2, 0, 2.0), (3, 2, -1.0)]).unwrap();
         let dense = sparse.to_dense();
         let dy = DenseMatrix::from_fn(4, 2, |i, j| (i + j) as f32 * 0.5);
 
@@ -242,6 +278,22 @@ mod tests {
         {
             assert!((a - b).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn from_parts_round_trip_and_validation() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let layer = Linear::new(3, 2, &mut rng);
+        let (w, b) = layer.export_parts();
+        let restored = Linear::from_parts(w.clone(), b.clone()).unwrap();
+        let x = DenseMatrix::from_fn(4, 3, |i, j| (i as f32 - j as f32) * 0.5);
+        assert_eq!(
+            layer.forward_inference(&x).unwrap(),
+            restored.forward_inference(&x).unwrap()
+        );
+        // Mis-shaped bias is rejected.
+        assert!(Linear::from_parts(w, DenseMatrix::zeros(1, 5)).is_err());
+        assert!(Linear::from_parts(DenseMatrix::zeros(3, 2), DenseMatrix::zeros(2, 2)).is_err());
     }
 
     #[test]
@@ -266,9 +318,7 @@ mod tests {
         let before = layer.weight.clone();
         let mut opt = Sgd::new(0.1);
         layer.forward(&x).unwrap();
-        layer
-            .backward(&DenseMatrix::filled(2, 1, 1.0))
-            .unwrap();
+        layer.backward(&DenseMatrix::filled(2, 1, 1.0)).unwrap();
         layer.apply_gradients(&mut opt, 0).unwrap();
         assert!(layer.weight.get(0, 0) < before.get(0, 0));
         assert!(layer.weight.get(1, 0) < before.get(1, 0));

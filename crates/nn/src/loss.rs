@@ -26,7 +26,11 @@ pub fn softmax_cross_entropy_masked(
     let (n, c) = logits.shape();
     if labels.len() != n {
         return Err(NnError::InvalidLabels {
-            reason: format!("labels length {} does not match logits rows {}", labels.len(), n),
+            reason: format!(
+                "labels length {} does not match logits rows {}",
+                labels.len(),
+                n
+            ),
         });
     }
     if mask.is_empty() {
@@ -70,7 +74,11 @@ pub fn accuracy(logits: &DenseMatrix, labels: &[usize], mask: &[usize]) -> Resul
     let n = logits.rows();
     if labels.len() != n {
         return Err(NnError::InvalidLabels {
-            reason: format!("labels length {} does not match logits rows {}", labels.len(), n),
+            reason: format!(
+                "labels length {} does not match logits rows {}",
+                labels.len(),
+                n
+            ),
         });
     }
     if mask.is_empty() {
@@ -168,7 +176,8 @@ mod tests {
 
     #[test]
     fn accuracy_counts_partial_correctness() {
-        let logits = DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let logits =
+            DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]).unwrap();
         let labels = vec![0, 1, 1, 0];
         let acc = accuracy(&logits, &labels, &[0, 1, 2, 3]).unwrap();
         assert!((acc - 0.5).abs() < 1e-6);

@@ -83,6 +83,55 @@ impl Mlp {
         }
     }
 
+    /// Rebuilds an MLP from restored layers (snapshot restore path).
+    ///
+    /// Consecutive layers must chain (`out_features` of layer `i` equals
+    /// `in_features` of layer `i + 1`) and at least one layer is required.
+    pub fn from_layers(layers: Vec<Linear>, dropout: f32) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(NnError::InvalidHyperParameter {
+                name: "num_layers",
+                value: 0.0,
+            });
+        }
+        if !(0.0..1.0).contains(&dropout) {
+            return Err(NnError::InvalidHyperParameter {
+                name: "dropout",
+                value: dropout as f64,
+            });
+        }
+        for pair in layers.windows(2) {
+            if pair[0].out_features() != pair[1].in_features() {
+                return Err(sigma_matrix::MatrixError::DimensionMismatch {
+                    op: "Mlp::from_layers",
+                    lhs: (pair[0].in_features(), pair[0].out_features()),
+                    rhs: (pair[1].in_features(), pair[1].out_features()),
+                }
+                .into());
+            }
+        }
+        Ok(Self {
+            layers,
+            dropout,
+            cache: None,
+        })
+    }
+
+    /// Exports every layer's parameters in order, as `(weight, bias)` pairs.
+    pub fn export_weights(&self) -> Vec<(DenseMatrix, DenseMatrix)> {
+        self.layers.iter().map(Linear::export_parts).collect()
+    }
+
+    /// Immutable access to the linear layers.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The configured dropout probability.
+    pub fn dropout(&self) -> f32 {
+        self.dropout
+    }
+
     /// Number of linear layers.
     pub fn num_layers(&self) -> usize {
         self.layers.len()
@@ -180,7 +229,11 @@ impl Mlp {
 
     /// Applies accumulated gradients. `key_base` is the first optimizer key
     /// this model may use; it consumes [`Mlp::num_parameter_keys`] keys.
-    pub fn apply_gradients(&mut self, optimizer: &mut dyn Optimizer, key_base: usize) -> Result<()> {
+    pub fn apply_gradients(
+        &mut self,
+        optimizer: &mut dyn Optimizer,
+        key_base: usize,
+    ) -> Result<()> {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             layer.apply_gradients(optimizer, key_base + 2 * i)?;
         }
@@ -211,7 +264,9 @@ mod tests {
             .collect();
         let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
         let x = DenseMatrix::from_rows(&refs).unwrap();
-        let labels = (0..40).map(|i| ((i % 2) ^ ((i / 2) % 2)) as usize).collect();
+        let labels = (0..40)
+            .map(|i| ((i % 2) ^ ((i / 2) % 2)) as usize)
+            .collect();
         (x, labels)
     }
 
@@ -231,7 +286,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mlp = Mlp::new(MlpConfig::new(10, 16, 3, 4), &mut rng);
         assert_eq!(mlp.num_layers(), 4);
-        assert_eq!(mlp.num_parameters(), (10 * 16 + 16) + 2 * (16 * 16 + 16) + (16 * 3 + 3));
+        assert_eq!(
+            mlp.num_parameters(),
+            (10 * 16 + 16) + 2 * (16 * 16 + 16) + (16 * 3 + 3)
+        );
         assert_eq!(mlp.num_parameter_keys(), 8);
     }
 
@@ -267,13 +325,17 @@ mod tests {
             plus.set(r, c, plus.get(r, c) + eps);
             let lp = {
                 let logits = mlp.forward(&plus, false, &mut rng).unwrap();
-                softmax_cross_entropy_masked(&logits, &labels, &mask).unwrap().0
+                softmax_cross_entropy_masked(&logits, &labels, &mask)
+                    .unwrap()
+                    .0
             };
             let mut minus = x.clone();
             minus.set(r, c, minus.get(r, c) - eps);
             let lm = {
                 let logits = mlp.forward(&minus, false, &mut rng).unwrap();
-                softmax_cross_entropy_masked(&logits, &labels, &mask).unwrap().0
+                softmax_cross_entropy_masked(&logits, &labels, &mask)
+                    .unwrap()
+                    .0
             };
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
@@ -308,12 +370,9 @@ mod tests {
     #[test]
     fn sparse_first_layer_matches_dense() {
         let mut rng = StdRng::seed_from_u64(3);
-        let sparse = CsrMatrix::from_triplets(
-            4,
-            4,
-            &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)],
-        )
-        .unwrap();
+        let sparse =
+            CsrMatrix::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)])
+                .unwrap();
         let dense = sparse.to_dense();
         let cfg = MlpConfig::new(4, 8, 3, 2);
         let mut rng_clone = StdRng::seed_from_u64(99);
@@ -329,12 +388,48 @@ mod tests {
     }
 
     #[test]
+    fn export_import_round_trip_preserves_forward() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut original = Mlp::new(MlpConfig::new(4, 8, 3, 3).with_dropout(0.3), &mut rng);
+        let weights = original.export_weights();
+        assert_eq!(weights.len(), 3);
+        let layers: Vec<Linear> = weights
+            .into_iter()
+            .map(|(w, b)| Linear::from_parts(w, b).unwrap())
+            .collect();
+        let mut restored = Mlp::from_layers(layers, original.dropout()).unwrap();
+        assert_eq!(restored.num_layers(), original.num_layers());
+        assert_eq!(restored.num_parameters(), original.num_parameters());
+        let x = DenseMatrix::from_fn(5, 4, |i, j| ((i * 5 + j) as f32 * 0.21).cos());
+        let y1 = original.forward(&x, false, &mut rng).unwrap();
+        let y2 = restored.forward(&x, false, &mut rng).unwrap();
+        assert_eq!(
+            y1, y2,
+            "restored MLP must be bitwise-identical in eval mode"
+        );
+        // The restored model is trainable: backward works immediately.
+        restored.backward(&DenseMatrix::filled(5, 3, 1.0)).unwrap();
+        assert!(restored.grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn from_layers_rejects_inconsistent_stacks() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = Linear::new(4, 8, &mut rng);
+        let b = Linear::new(9, 3, &mut rng); // 8 != 9: does not chain
+        assert!(Mlp::from_layers(vec![a.clone(), b], 0.0).is_err());
+        assert!(Mlp::from_layers(vec![], 0.0).is_err());
+        assert!(Mlp::from_layers(vec![a], 1.0).is_err());
+    }
+
+    #[test]
     fn zero_grad_clears_all_layers() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut mlp = Mlp::new(MlpConfig::new(2, 4, 2, 3), &mut rng);
         let x = DenseMatrix::filled(3, 2, 1.0);
         let y = mlp.forward(&x, true, &mut rng).unwrap();
-        mlp.backward(&DenseMatrix::filled(3, y.cols(), 1.0)).unwrap();
+        mlp.backward(&DenseMatrix::filled(3, y.cols(), 1.0))
+            .unwrap();
         assert!(mlp.grad_norm() > 0.0);
         mlp.zero_grad();
         assert_eq!(mlp.grad_norm(), 0.0);

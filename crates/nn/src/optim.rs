@@ -49,11 +49,13 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn update(&mut self, _key: usize, param: &mut DenseMatrix, grad: &DenseMatrix) -> Result<()> {
         if param.shape() != grad.shape() {
-            return Err(NnError::Matrix(sigma_matrix::MatrixError::DimensionMismatch {
-                op: "sgd_update",
-                lhs: param.shape(),
-                rhs: grad.shape(),
-            }));
+            return Err(NnError::Matrix(
+                sigma_matrix::MatrixError::DimensionMismatch {
+                    op: "sgd_update",
+                    lhs: param.shape(),
+                    rhs: grad.shape(),
+                },
+            ));
         }
         let lr = self.lr;
         let wd = self.weight_decay;
@@ -140,11 +142,13 @@ impl Optimizer for Adam {
 
     fn update(&mut self, key: usize, param: &mut DenseMatrix, grad: &DenseMatrix) -> Result<()> {
         if param.shape() != grad.shape() {
-            return Err(NnError::Matrix(sigma_matrix::MatrixError::DimensionMismatch {
-                op: "adam_update",
-                lhs: param.shape(),
-                rhs: grad.shape(),
-            }));
+            return Err(NnError::Matrix(
+                sigma_matrix::MatrixError::DimensionMismatch {
+                    op: "adam_update",
+                    lhs: param.shape(),
+                    rhs: grad.shape(),
+                },
+            ));
         }
         if self.t == 0 {
             // Allow implicit stepping when callers forget begin_step.
@@ -156,11 +160,13 @@ impl Optimizer for Adam {
             v: DenseMatrix::zeros(rows, cols),
         });
         if entry.m.shape() != param.shape() {
-            return Err(NnError::Matrix(sigma_matrix::MatrixError::DimensionMismatch {
-                op: "adam_state",
-                lhs: entry.m.shape(),
-                rhs: param.shape(),
-            }));
+            return Err(NnError::Matrix(
+                sigma_matrix::MatrixError::DimensionMismatch {
+                    op: "adam_state",
+                    lhs: entry.m.shape(),
+                    rhs: param.shape(),
+                },
+            ));
         }
         let bias_correction1 = 1.0 - self.beta1.powi(self.t);
         let bias_correction2 = 1.0 - self.beta2.powi(self.t);

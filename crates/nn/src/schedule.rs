@@ -125,7 +125,14 @@ mod tests {
 
     #[test]
     fn degenerate_parameters_are_clamped() {
-        assert_eq!(LrSchedule::StepDecay { step_size: 0, gamma: 0.5 }.factor(3), 0.125);
+        assert_eq!(
+            LrSchedule::StepDecay {
+                step_size: 0,
+                gamma: 0.5
+            }
+            .factor(3),
+            0.125
+        );
         assert_eq!(LrSchedule::Warmup { warmup_epochs: 0 }.factor(0), 1.0);
         let cosine = LrSchedule::CosineAnnealing {
             total_epochs: 0,

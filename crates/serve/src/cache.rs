@@ -1,0 +1,224 @@
+//! A bounded LRU cache for per-node aggregated embeddings (`Ẑ` rows).
+//!
+//! The engine's hot path is "gather the `Ẑ` rows of a query batch"; rows for
+//! frequently queried nodes are kept here so repeat queries skip the
+//! row-sliced SpMM entirely. The implementation is a `HashMap` keyed by node
+//! id plus a monotone access stamp, with amortised-O(1) eviction via a lazy
+//! min-heap of `(stamp, node)` candidates — entries whose stamp is out of
+//! date are discarded when popped.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Bounded least-recently-used map from node id to an owned embedding row.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    entries: HashMap<usize, (u64, Vec<f32>)>,
+    /// Min-heap of `(stamp, node)` eviction candidates; may contain stale
+    /// stamps, resolved lazily on eviction.
+    eviction: BinaryHeap<Reverse<(u64, usize)>>,
+    clock: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` rows (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::with_capacity(capacity.min(4096)),
+            eviction: BinaryHeap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Number of rows currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a row, refreshing its recency on hit.
+    pub fn get(&mut self, node: usize) -> Option<&[f32]> {
+        self.clock += 1;
+        self.maybe_compact();
+        let clock = self.clock;
+        match self.entries.get_mut(&node) {
+            Some((stamp, row)) => {
+                *stamp = clock;
+                self.eviction.push(Reverse((clock, node)));
+                Some(row.as_slice())
+            }
+            None => None,
+        }
+    }
+
+    /// Rebuilds the eviction heap from live entries when stale candidates
+    /// dominate it (read-heavy workloads refresh stamps without evicting, so
+    /// without compaction the heap would grow with the query count).
+    fn maybe_compact(&mut self) {
+        if self.eviction.len() > self.entries.len() * 4 + 16 {
+            self.eviction = self
+                .entries
+                .iter()
+                .map(|(&node, (stamp, _))| Reverse((*stamp, node)))
+                .collect();
+        }
+    }
+
+    /// Inserts (or refreshes) a row, evicting the least recently used entry
+    /// if the cache is full.
+    pub fn insert(&mut self, node: usize, row: Vec<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        self.maybe_compact();
+        let clock = self.clock;
+        self.eviction.push(Reverse((clock, node)));
+        self.entries.insert(node, (clock, row));
+        while self.entries.len() > self.capacity {
+            match self.eviction.pop() {
+                Some(Reverse((stamp, candidate))) => {
+                    if self
+                        .entries
+                        .get(&candidate)
+                        .is_some_and(|(current, _)| *current == stamp)
+                    {
+                        self.entries.remove(&candidate);
+                    }
+                }
+                // Heap exhausted: every remaining candidate was stale. Cannot
+                // happen while entries is non-empty, but guard anyway.
+                None => break,
+            }
+        }
+    }
+
+    /// Removes one node's row, returning whether it was present.
+    pub fn invalidate(&mut self, node: usize) -> bool {
+        self.entries.remove(&node).is_some()
+    }
+
+    /// Removes every cached row.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.eviction.clear();
+    }
+
+    /// The node ids currently cached (order unspecified).
+    pub fn cached_nodes(&self) -> Vec<usize> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f32) -> Vec<f32> {
+        vec![v, v + 1.0]
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut cache = LruCache::new(4);
+        assert!(cache.get(0).is_none());
+        cache.insert(0, row(1.0));
+        assert_eq!(cache.get(0).unwrap(), &[1.0, 2.0]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(3);
+        cache.insert(1, row(1.0));
+        cache.insert(2, row(2.0));
+        cache.insert(3, row(3.0));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.get(1).is_some());
+        cache.insert(4, row(4.0));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(2).is_none(), "2 was LRU and must be evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert!(cache.get(4).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_growing() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, row(1.0));
+        cache.insert(1, row(9.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(1).unwrap(), &[9.0, 10.0]);
+        cache.insert(2, row(2.0));
+        cache.insert(3, row(3.0));
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.get(1).is_none(),
+            "oldest entry evicted after refreshes"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert(1, row(1.0));
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut cache = LruCache::new(8);
+        for i in 0..5 {
+            cache.insert(i, row(i as f32));
+        }
+        assert!(cache.invalidate(3));
+        assert!(!cache.invalidate(3));
+        assert_eq!(cache.len(), 4);
+        let mut nodes = cache.cached_nodes();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 2, 4]);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 8);
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        let mut cache = LruCache::new(16);
+        for i in 0..10_000 {
+            cache.insert(i % 64, row(i as f32));
+            let _ = cache.get((i * 7) % 64);
+            assert!(cache.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn read_heavy_workloads_compact_the_eviction_heap() {
+        let mut cache = LruCache::new(8);
+        for i in 0..8 {
+            cache.insert(i, row(i as f32));
+        }
+        // Millions of hits without inserts must not grow internal state
+        // unboundedly (lazy eviction candidates are compacted away).
+        for i in 0..100_000usize {
+            assert!(cache.get(i % 8).is_some());
+        }
+        assert!(cache.eviction.len() <= cache.entries.len() * 4 + 16);
+        // LRU semantics still hold after compaction.
+        cache.insert(100, row(1.0));
+        assert_eq!(cache.len(), 8);
+    }
+}

@@ -1,0 +1,566 @@
+//! The online inference engine.
+//!
+//! [`InferenceEngine::new`] takes a [`ServeSnapshot`] and precomputes the
+//! full-graph embedding `H = MLP_H(δ·MLP_X(X) + (1−δ)·MLP_A(A))` once. A
+//! query for a batch of `b` nodes then costs `O(b·k·f)`: the engine gathers
+//! the batch's rows of the constant top-k operator `S` with
+//! `CsrMatrix::spmm_rows` and blends them with the local embedding
+//! (`Z_u = (1−α)·(S·H)_u + α·H_u`, paper Eq. 5–6) — no full-graph SpMM, no
+//! MLP re-execution. Aggregated rows `Ẑ_u` are memoised in a bounded LRU
+//! cache, and a small worker thread pool serves concurrent batches.
+//!
+//! The engine also consumes `sigma_simrank::dynamic` edge updates: edits
+//! invalidate exactly the cached rows whose operator entries can change
+//! (endpoints, their neighbours, and every row referencing them), and a
+//! refreshed operator from [`sigma_simrank::DynamicSimRank`] can be swapped
+//! in without rebuilding the engine.
+
+use crate::cache::LruCache;
+use crate::forward::compute_embeddings;
+use crate::snapshot::ServeSnapshot;
+use crate::{Result, ServeError};
+use sigma_matrix::{CsrMatrix, DenseMatrix};
+use sigma_simrank::{DynamicSimRank, EdgeUpdate};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Tuning knobs of the [`InferenceEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Maximum number of aggregated rows (`Ẑ_u`) kept in the LRU cache
+    /// (0 disables caching).
+    pub cache_capacity: usize,
+    /// Worker threads serving queries (0 serves every query on the caller's
+    /// thread).
+    pub workers: usize,
+    /// Batches larger than this are split into chunks of at most this many
+    /// nodes and fanned out across the worker pool.
+    pub max_chunk: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 4096,
+            workers: 2,
+            max_chunk: 256,
+        }
+    }
+}
+
+/// The served answer for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The queried node.
+    pub node: usize,
+    /// Class logits (`Z_u`, Eq. 6).
+    pub logits: Vec<f32>,
+    /// `argmax` of the logits.
+    pub label: usize,
+    /// Whether the aggregated row was served from the cache.
+    pub cached: bool,
+    /// Whether pending edge updates may have invalidated this node's
+    /// operator row (served value may be stale until the next refresh).
+    pub stale: bool,
+}
+
+/// Monotone serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total nodes served.
+    pub nodes_served: u64,
+    /// Total batches served.
+    pub batches_served: u64,
+    /// Aggregated rows found in the cache.
+    pub cache_hits: u64,
+    /// Aggregated rows recomputed via the row-sliced kernel.
+    pub cache_misses: u64,
+    /// Cached rows dropped by edge-update invalidation.
+    pub rows_invalidated: u64,
+    /// Operator swap-ins from a refreshed maintainer.
+    pub operator_refreshes: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    nodes_served: AtomicU64,
+    batches_served: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rows_invalidated: AtomicU64,
+    operator_refreshes: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            nodes_served: self.nodes_served.load(Ordering::Relaxed),
+            batches_served: self.batches_served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            rows_invalidated: self.rows_invalidated.load(Ordering::Relaxed),
+            operator_refreshes: self.operator_refreshes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The aggregation operator plus its transposed sparsity pattern (used to
+/// find the rows that reference an updated node during invalidation).
+struct OperatorState {
+    matrix: CsrMatrix,
+    reverse: CsrMatrix,
+}
+
+impl OperatorState {
+    fn new(matrix: CsrMatrix) -> Self {
+        let reverse = matrix.transpose();
+        Self { matrix, reverse }
+    }
+}
+
+struct Shared {
+    /// Precomputed full-graph embedding `H` (`n × C`).
+    embeddings: DenseMatrix,
+    /// Effective local/global balance `α`.
+    alpha: f32,
+    /// Constant aggregation operator (`None` = SIGMA w/o S: `Ẑ = H`).
+    operator: RwLock<Option<OperatorState>>,
+    /// Bounded memo of aggregated rows.
+    cache: Mutex<LruCache>,
+    /// Nodes whose operator rows may be stale w.r.t. applied edge updates.
+    stale: Mutex<HashSet<usize>>,
+    /// Adjacency at snapshot time, for first-order invalidation regions.
+    adjacency: CsrMatrix,
+    /// Operator generation counter, bumped by [`InferenceEngine::install_operator`].
+    /// Rows computed against generation `g` may only enter the cache while
+    /// the generation is still `g` — otherwise a batch racing an operator
+    /// swap could cache old-operator rows after the swap's cache clear.
+    epoch: AtomicU64,
+    stats: AtomicStats,
+}
+
+enum Job {
+    Batch {
+        chunk_index: usize,
+        nodes: Vec<usize>,
+        reply: Sender<(usize, Result<Vec<Prediction>>)>,
+    },
+}
+
+/// Online node-classification server for a snapshotted SIGMA model.
+pub struct InferenceEngine {
+    shared: Arc<Shared>,
+    config: EngineConfig,
+    job_tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for InferenceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceEngine")
+            .field("num_nodes", &self.num_nodes())
+            .field("num_classes", &self.num_classes())
+            .field("config", &self.config)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl InferenceEngine {
+    /// Builds an engine from a snapshot: runs the encoder once over the full
+    /// graph, installs the operator, and spawns the worker pool.
+    pub fn new(snapshot: &ServeSnapshot, config: EngineConfig) -> Result<Self> {
+        snapshot.model.validate()?;
+        let embeddings =
+            compute_embeddings(&snapshot.model, &snapshot.features, &snapshot.adjacency)?;
+        let operator = snapshot.model.operator.clone().map(OperatorState::new);
+        let shared = Arc::new(Shared {
+            embeddings,
+            alpha: snapshot.model.effective_alpha() as f32,
+            operator: RwLock::new(operator),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            stale: Mutex::new(HashSet::new()),
+            adjacency: snapshot.adjacency.clone(),
+            epoch: AtomicU64::new(0),
+            stats: AtomicStats::default(),
+        });
+
+        let (job_tx, workers) = if config.workers > 0 {
+            let (tx, rx) = channel::<Job>();
+            let rx = Arc::new(Mutex::new(rx));
+            let workers = (0..config.workers)
+                .map(|i| {
+                    let shared = Arc::clone(&shared);
+                    let rx = Arc::clone(&rx);
+                    std::thread::Builder::new()
+                        .name(format!("sigma-serve-{i}"))
+                        .spawn(move || worker_loop(shared, rx))
+                        .expect("spawning a serving worker thread")
+                })
+                .collect();
+            (Some(tx), workers)
+        } else {
+            (None, Vec::new())
+        };
+
+        Ok(Self {
+            shared,
+            config,
+            job_tx,
+            workers,
+        })
+    }
+
+    /// Number of nodes the engine serves.
+    pub fn num_nodes(&self) -> usize {
+        self.shared.embeddings.rows()
+    }
+
+    /// Number of classes per prediction.
+    pub fn num_classes(&self) -> usize {
+        self.shared.embeddings.cols()
+    }
+
+    /// The effective `α` blended at serve time.
+    pub fn alpha(&self) -> f32 {
+        self.shared.alpha
+    }
+
+    /// Serves a single node.
+    pub fn predict(&self, node: usize) -> Result<Prediction> {
+        let mut batch = serve_batch(&self.shared, &[node])?;
+        Ok(batch.pop().expect("one prediction per queried node"))
+    }
+
+    /// Serves a batch of nodes, preserving query order.
+    ///
+    /// Large batches are split into chunks and executed concurrently on the
+    /// worker pool; small batches (or `workers = 0` configurations) are
+    /// served inline on the caller's thread.
+    pub fn predict_batch(&self, nodes: &[usize]) -> Result<Vec<Prediction>> {
+        match &self.job_tx {
+            Some(tx) if nodes.len() > self.config.max_chunk.max(1) => {
+                let chunk_size = self.config.max_chunk.max(1);
+                let (reply_tx, reply_rx) = channel::<(usize, Result<Vec<Prediction>>)>();
+                let mut num_chunks = 0usize;
+                for (chunk_index, chunk) in nodes.chunks(chunk_size).enumerate() {
+                    tx.send(Job::Batch {
+                        chunk_index,
+                        nodes: chunk.to_vec(),
+                        reply: reply_tx.clone(),
+                    })
+                    .map_err(|_| ServeError::EngineShutDown)?;
+                    num_chunks += 1;
+                }
+                drop(reply_tx);
+                let mut chunks: Vec<Option<Vec<Prediction>>> = vec![None; num_chunks];
+                for _ in 0..num_chunks {
+                    let (chunk_index, result) =
+                        reply_rx.recv().map_err(|_| ServeError::EngineShutDown)?;
+                    chunks[chunk_index] = Some(result?);
+                }
+                let mut out = Vec::with_capacity(nodes.len());
+                for chunk in chunks {
+                    out.extend(chunk.expect("every chunk index replied exactly once"));
+                }
+                Ok(out)
+            }
+            _ => serve_batch(&self.shared, nodes),
+        }
+    }
+
+    /// Applies a stream of edge updates to the staleness tracker.
+    ///
+    /// Marks the first-order affected region (endpoints plus their
+    /// neighbours at snapshot time) stale, and evicts every cached row whose
+    /// operator entries reference an affected node. Returns the number of
+    /// cached rows invalidated.
+    pub fn apply_edge_updates(&self, updates: &[EdgeUpdate]) -> Result<usize> {
+        let n = self.num_nodes();
+        let mut affected: HashSet<usize> = HashSet::new();
+        for &update in updates {
+            let (u, v) = match update {
+                EdgeUpdate::Insert(u, v) | EdgeUpdate::Delete(u, v) => (u, v),
+            };
+            if u >= n || v >= n {
+                return Err(ServeError::InvalidQuery {
+                    node: u.max(v),
+                    num_nodes: n,
+                });
+            }
+            for endpoint in [u, v] {
+                affected.insert(endpoint);
+                for (nb, _) in self.shared.adjacency.row_iter(endpoint) {
+                    affected.insert(nb);
+                }
+            }
+        }
+        Ok(self.invalidate_region(&affected))
+    }
+
+    /// Synchronises with a [`DynamicSimRank`] maintainer.
+    ///
+    /// If the maintainer's staleness budget is exhausted, its refreshed
+    /// operator is swapped in (clearing the cache and staleness set) and
+    /// `true` is returned. Otherwise the maintainer's affected-node set is
+    /// marked stale here, bounding how wrong served rows can be, and `false`
+    /// is returned.
+    pub fn sync_with(&self, maintainer: &mut DynamicSimRank) -> Result<bool> {
+        if maintainer.needs_refresh() {
+            let operator = maintainer.operator()?;
+            self.install_operator(operator)?;
+            Ok(true)
+        } else {
+            let affected: HashSet<usize> = maintainer.affected_nodes().into_iter().collect();
+            self.invalidate_region(&affected);
+            Ok(false)
+        }
+    }
+
+    /// Replaces the aggregation operator (e.g. after a SimRank refresh on an
+    /// updated graph), clearing the row cache and the staleness set.
+    pub fn install_operator(&self, operator: CsrMatrix) -> Result<()> {
+        let n = self.num_nodes();
+        if operator.shape() != (n, n) {
+            return Err(ServeError::OperatorMismatch {
+                got: operator.shape(),
+                expected: n,
+            });
+        }
+        let state = OperatorState::new(operator);
+        {
+            let mut guard = self
+                .shared
+                .operator
+                .write()
+                .expect("operator lock poisoned");
+            *guard = Some(state);
+            // Bump the generation while still holding the write lock, so any
+            // in-flight batch that read the old operator observes a changed
+            // epoch and skips caching its rows.
+            self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        self.shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .clear();
+        self.shared
+            .stale
+            .lock()
+            .expect("stale lock poisoned")
+            .clear();
+        self.shared
+            .stats
+            .operator_refreshes
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Nodes currently marked stale, sorted by id.
+    pub fn stale_nodes(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .shared
+            .stale
+            .lock()
+            .expect("stale lock poisoned")
+            .iter()
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of aggregated rows currently cached.
+    pub fn cached_rows(&self) -> usize {
+        self.shared.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// A point-in-time copy of the serving counters.
+    pub fn stats(&self) -> EngineStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Marks `affected` nodes stale and evicts every cached row referencing
+    /// them; returns the number of evicted rows.
+    fn invalidate_region(&self, affected: &HashSet<usize>) -> usize {
+        if affected.is_empty() {
+            return 0;
+        }
+        // Rows whose operator entries touch an affected column.
+        let mut rows: HashSet<usize> = affected.iter().copied().collect();
+        if let Some(state) = self
+            .shared
+            .operator
+            .read()
+            .expect("operator lock poisoned")
+            .as_ref()
+        {
+            for &a in affected {
+                if a < state.reverse.rows() {
+                    for (row, _) in state.reverse.row_iter(a) {
+                        rows.insert(row);
+                    }
+                }
+            }
+        }
+        let mut invalidated = 0usize;
+        {
+            let mut cache = self.shared.cache.lock().expect("cache lock poisoned");
+            for &row in &rows {
+                if cache.invalidate(row) {
+                    invalidated += 1;
+                }
+            }
+        }
+        {
+            let mut stale = self.shared.stale.lock().expect("stale lock poisoned");
+            stale.extend(rows.iter().copied());
+        }
+        self.shared
+            .stats
+            .rows_invalidated
+            .fetch_add(invalidated as u64, Ordering::Relaxed);
+        invalidated
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        // Close the job channel so workers observe disconnection and exit.
+        self.job_tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("job queue lock poisoned");
+            guard.recv()
+        };
+        match job {
+            Ok(Job::Batch {
+                chunk_index,
+                nodes,
+                reply,
+            }) => {
+                let result = serve_batch(&shared, &nodes);
+                // A dropped reply receiver just means the caller gave up.
+                let _ = reply.send((chunk_index, result));
+            }
+            Err(_) => return, // Engine dropped: channel closed.
+        }
+    }
+}
+
+/// Serves one batch: cache lookups, one row-sliced SpMM for the misses,
+/// Eq. 6 blending, staleness tagging.
+fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
+    let n = shared.embeddings.rows();
+    let classes = shared.embeddings.cols();
+    for &node in nodes {
+        if node >= n {
+            return Err(ServeError::InvalidQuery { node, num_nodes: n });
+        }
+    }
+
+    // Plan: resolve each queried node to a cached row or a miss.
+    let mut z_hat: Vec<Option<Vec<f32>>> = vec![None; nodes.len()];
+    let mut cached = vec![false; nodes.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    let mut miss_slots: Vec<usize> = Vec::new();
+    {
+        let mut cache = shared.cache.lock().expect("cache lock poisoned");
+        for (slot, &node) in nodes.iter().enumerate() {
+            match cache.get(node) {
+                Some(row) => {
+                    z_hat[slot] = Some(row.to_vec());
+                    cached[slot] = true;
+                }
+                None => {
+                    misses.push(node);
+                    miss_slots.push(slot);
+                }
+            }
+        }
+    }
+    shared
+        .stats
+        .cache_hits
+        .fetch_add((nodes.len() - misses.len()) as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .cache_misses
+        .fetch_add(misses.len() as u64, Ordering::Relaxed);
+
+    // One row-sliced SpMM covers every miss in the batch.
+    if !misses.is_empty() {
+        let (computed, computed_epoch): (DenseMatrix, u64) = {
+            let operator = shared.operator.read().expect("operator lock poisoned");
+            // Capture the generation while holding the operator lock, pairing
+            // the epoch with the matrix the rows are computed from.
+            let epoch = shared.epoch.load(Ordering::SeqCst);
+            let rows = match operator.as_ref() {
+                Some(state) => state.matrix.spmm_rows(&misses, &shared.embeddings)?,
+                None => shared.embeddings.select_rows(&misses)?,
+            };
+            (rows, epoch)
+        };
+        let mut cache = shared.cache.lock().expect("cache lock poisoned");
+        // If the operator was swapped while we computed, the rows are still
+        // a consistent answer for this query (it raced the swap) but must
+        // not poison the freshly cleared cache.
+        let cache_rows = shared.epoch.load(Ordering::SeqCst) == computed_epoch;
+        for (i, &slot) in miss_slots.iter().enumerate() {
+            let row = computed.row(i).to_vec();
+            if cache_rows {
+                cache.insert(misses[i], row.clone());
+            }
+            z_hat[slot] = Some(row);
+        }
+    }
+
+    // Eq. 6: Z_u = (1−α)·Ẑ_u + α·H_u, exactly as the training-side forward.
+    let alpha = shared.alpha;
+    let stale = shared.stale.lock().expect("stale lock poisoned");
+    let mut out = Vec::with_capacity(nodes.len());
+    for (slot, &node) in nodes.iter().enumerate() {
+        let z_hat_row = z_hat[slot].take().expect("every slot resolved");
+        let h_row = shared.embeddings.row(node);
+        let mut logits = Vec::with_capacity(classes);
+        for (z, &h) in z_hat_row.iter().zip(h_row.iter()) {
+            logits.push((1.0 - alpha) * z + alpha * h);
+        }
+        let label = logits
+            .iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0;
+        out.push(Prediction {
+            node,
+            logits,
+            label,
+            cached: cached[slot],
+            stale: stale.contains(&node),
+        });
+    }
+    drop(stale);
+    shared
+        .stats
+        .nodes_served
+        .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+    shared.stats.batches_served.fetch_add(1, Ordering::Relaxed);
+    Ok(out)
+}

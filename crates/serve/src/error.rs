@@ -1,0 +1,144 @@
+use std::fmt;
+
+/// Errors produced by snapshot persistence and the inference engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An I/O operation on a snapshot file failed.
+    Io(std::io::Error),
+    /// A snapshot file is malformed (bad magic, truncation, inconsistent
+    /// section sizes).
+    Corrupt {
+        /// Human-readable description of the corruption.
+        reason: String,
+    },
+    /// The snapshot was written by an unsupported format version.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
+    /// A query referenced a node outside the snapshot's graph.
+    InvalidQuery {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes the model serves.
+        num_nodes: usize,
+    },
+    /// A replacement operator does not match the served graph.
+    OperatorMismatch {
+        /// Shape of the offered operator.
+        got: (usize, usize),
+        /// Expected square dimension (the node count).
+        expected: usize,
+    },
+    /// The worker pool shut down while a query was in flight.
+    EngineShutDown,
+    /// An underlying model-layer error.
+    Model(sigma::SigmaError),
+    /// An underlying matrix error.
+    Matrix(sigma_matrix::MatrixError),
+    /// An underlying neural-network error.
+    Nn(sigma_nn::NnError),
+    /// An underlying similarity-maintenance error.
+    SimRank(sigma_simrank::SimRankError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            ServeError::Corrupt { reason } => write!(f, "corrupt snapshot: {reason}"),
+            ServeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than the supported version {supported}"
+            ),
+            ServeError::InvalidQuery { node, num_nodes } => {
+                write!(f, "query for node {node} outside the served graph of {num_nodes} nodes")
+            }
+            ServeError::OperatorMismatch { got, expected } => write!(
+                f,
+                "replacement operator shape {got:?} does not match the served graph of {expected} nodes"
+            ),
+            ServeError::EngineShutDown => write!(f, "inference engine worker pool has shut down"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Matrix(e) => write!(f, "matrix error: {e}"),
+            ServeError::Nn(e) => write!(f, "nn error: {e}"),
+            ServeError::SimRank(e) => write!(f, "similarity error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Model(e) => Some(e),
+            ServeError::Matrix(e) => Some(e),
+            ServeError::Nn(e) => Some(e),
+            ServeError::SimRank(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<sigma::SigmaError> for ServeError {
+    fn from(e: sigma::SigmaError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<sigma_matrix::MatrixError> for ServeError {
+    fn from(e: sigma_matrix::MatrixError) -> Self {
+        ServeError::Matrix(e)
+    }
+}
+
+impl From<sigma_nn::NnError> for ServeError {
+    fn from(e: sigma_nn::NnError) -> Self {
+        ServeError::Nn(e)
+    }
+}
+
+impl From<sigma_simrank::SimRankError> for ServeError {
+    fn from(e: sigma_simrank::SimRankError) -> Self {
+        ServeError::SimRank(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = ServeError::Corrupt {
+            reason: "truncated header".into(),
+        };
+        assert!(e.to_string().contains("truncated header"));
+        let e = ServeError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = ServeError::InvalidQuery {
+            node: 42,
+            num_nodes: 10,
+        };
+        assert!(e.to_string().contains("42"));
+        let e = ServeError::OperatorMismatch {
+            got: (3, 4),
+            expected: 7,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(ServeError::EngineShutDown.to_string().contains("shut down"));
+        let e: ServeError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

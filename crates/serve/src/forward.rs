@@ -1,0 +1,106 @@
+//! Eval-mode forward passes from exported weights.
+//!
+//! The serve-side encoder rebuilds real [`sigma_nn::Mlp`] stacks from the
+//! snapshot's weights via [`sigma_nn::Mlp::from_layers`] and runs them in
+//! eval mode (dropout inactive), so the resulting embeddings are identical
+//! to the training-side eval forward *by construction* — the same layer
+//! code executes, not a re-implementation of it. `Linear::from_parts`
+//! validates every layer's weight/bias shapes on the way in.
+
+use crate::Result;
+use sigma::snapshot::{MlpWeights, ModelSnapshot};
+use sigma_matrix::{CsrMatrix, DenseMatrix};
+use sigma_nn::{Linear, Mlp};
+
+/// Rebuilds a runnable MLP from exported `(weight, bias)` pairs.
+fn rebuild(stack: &MlpWeights) -> Result<Mlp> {
+    let layers = stack
+        .iter()
+        .map(|(w, b)| Linear::from_parts(w.clone(), b.clone()))
+        .collect::<sigma_nn::Result<Vec<_>>>()?;
+    Ok(Mlp::from_layers(layers, 0.0)?)
+}
+
+/// Eval-mode RNG stub: with `training = false` and zero dropout the forward
+/// pass never draws randomness, but the `Mlp` API still wants a generator.
+fn eval_rng() -> rand::rngs::StdRng {
+    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0)
+}
+
+/// Runs an exported MLP on a dense input (eval mode: ReLU between layers,
+/// no dropout).
+pub fn mlp_infer_dense(stack: &MlpWeights, input: &DenseMatrix) -> Result<DenseMatrix> {
+    let mut mlp = rebuild(stack)?;
+    Ok(mlp.forward(input, false, &mut eval_rng())?)
+}
+
+/// Runs an exported MLP whose first layer consumes a sparse input (the
+/// `MLP_A(A)` path).
+pub fn mlp_infer_sparse(stack: &MlpWeights, input: &CsrMatrix) -> Result<DenseMatrix> {
+    let mut mlp = rebuild(stack)?;
+    Ok(mlp.forward_sparse(input, false, &mut eval_rng())?)
+}
+
+/// Computes the full-graph embedding `H` of Eq. 4 from a model snapshot:
+/// `H = MLP_H(δ·MLP_X(X) + (1−δ)·MLP_A(A))`.
+pub fn compute_embeddings(
+    model: &ModelSnapshot,
+    features: &DenseMatrix,
+    adjacency: &CsrMatrix,
+) -> Result<DenseMatrix> {
+    let h_a = mlp_infer_sparse(&model.mlp_a, adjacency)?;
+    let h_x = mlp_infer_dense(&model.mlp_x, features)?;
+    let combined = h_x.linear_combination(model.delta as f32, (1.0 - model.delta) as f32, &h_a)?;
+    mlp_infer_dense(&model.mlp_h, &combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_inference_matches_manual_two_layer() {
+        // y = relu(x·W1 + b1)·W2 + b2 computed by hand on tiny matrices.
+        let w1 = DenseMatrix::from_rows(&[&[1.0, -1.0], &[0.5, 2.0]]).unwrap();
+        let b1 = DenseMatrix::from_rows(&[&[0.1, -0.2]]).unwrap();
+        let w2 = DenseMatrix::from_rows(&[&[2.0], &[1.0]]).unwrap();
+        let b2 = DenseMatrix::from_rows(&[&[-1.0]]).unwrap();
+        let stack = vec![(w1, b1), (w2, b2)];
+        let x = DenseMatrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+        // Layer 1: [1*1 + 1*0.5 + 0.1, 1*-1 + 1*2 - 0.2] = [1.6, 0.8]
+        // ReLU: unchanged. Layer 2: 1.6*2 + 0.8*1 - 1 = 3.0.
+        let y = mlp_infer_dense(&stack, &x).unwrap();
+        assert_eq!(y.shape(), (1, 1));
+        assert!((y.get(0, 0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_first_layer_matches_dense_equivalent() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (2, 2, 1.0)]).unwrap();
+        let w1 = DenseMatrix::from_fn(3, 4, |i, j| (i + j) as f32 * 0.3 - 0.4);
+        let b1 = DenseMatrix::from_fn(1, 4, |_, j| j as f32 * 0.05);
+        let w2 = DenseMatrix::from_fn(4, 2, |i, j| (i as f32 - j as f32) * 0.2);
+        let b2 = DenseMatrix::zeros(1, 2);
+        let stack = vec![(w1, b1), (w2, b2)];
+        let sparse = mlp_infer_sparse(&stack, &a).unwrap();
+        let dense = mlp_infer_dense(&stack, &a.to_dense()).unwrap();
+        for (s, d) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((s - d).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn malformed_layer_shapes_are_rejected_not_truncated() {
+        // Bias narrower than the weight's output width must error, not
+        // silently bias only the first columns.
+        let stack = vec![(DenseMatrix::zeros(2, 3), DenseMatrix::zeros(1, 2))];
+        let x = DenseMatrix::zeros(4, 2);
+        assert!(mlp_infer_dense(&stack, &x).is_err());
+        // Non-chaining consecutive layers must error too.
+        let stack = vec![
+            (DenseMatrix::zeros(2, 3), DenseMatrix::zeros(1, 3)),
+            (DenseMatrix::zeros(4, 2), DenseMatrix::zeros(1, 2)),
+        ];
+        assert!(mlp_infer_dense(&stack, &x).is_err());
+    }
+}

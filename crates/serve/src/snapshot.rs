@@ -1,0 +1,238 @@
+//! Versioned on-disk snapshots: trained weights, the top-k aggregation
+//! operator, and the graph inputs needed to serve it.
+//!
+//! A [`ServeSnapshot`] bundles a [`ModelSnapshot`] (the trained SIGMA
+//! parameters and operator) with the node features and adjacency matrix the
+//! model embeds, making the file self-contained: `load` → build an
+//! [`crate::InferenceEngine`] → answer queries, with no access to the
+//! training pipeline. Files carry a magic tag and a format version; readers
+//! reject newer versions and malformed sections with typed errors.
+
+use crate::codec;
+use crate::{Result, ServeError};
+use sigma::snapshot::{MlpWeights, ModelSnapshot};
+use sigma::AggregatorKind;
+use sigma_matrix::{CsrMatrix, DenseMatrix};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying a SIGMA snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SIGMASNP";
+
+/// Current (highest writable/readable) snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A self-contained serving artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSnapshot {
+    /// Free-form tag recorded at save time (model name, dataset, run id…).
+    pub tag: String,
+    /// The trained model: weights, hyper-parameters, aggregation operator.
+    pub model: ModelSnapshot,
+    /// Node features `X` (`n × f`), input to `MLP_X`.
+    pub features: DenseMatrix,
+    /// Binary adjacency `A` (`n × n`), input to `MLP_A` and the source of
+    /// neighbourhood information for cache invalidation.
+    pub adjacency: CsrMatrix,
+}
+
+impl ServeSnapshot {
+    /// Bundles a model snapshot with its serving inputs, validating that all
+    /// shapes agree.
+    pub fn new(
+        tag: impl Into<String>,
+        model: ModelSnapshot,
+        features: DenseMatrix,
+        adjacency: CsrMatrix,
+    ) -> Result<Self> {
+        model.validate()?;
+        let n = model.num_nodes();
+        if features.rows() != n || features.cols() != model.feature_dim() {
+            return Err(ServeError::Corrupt {
+                reason: format!(
+                    "feature matrix {:?} does not match the model's {} × {} inputs",
+                    features.shape(),
+                    n,
+                    model.feature_dim()
+                ),
+            });
+        }
+        if adjacency.shape() != (n, n) {
+            return Err(ServeError::OperatorMismatch {
+                got: adjacency.shape(),
+                expected: n,
+            });
+        }
+        Ok(Self {
+            tag: tag.into(),
+            model,
+            features,
+            adjacency,
+        })
+    }
+
+    /// Number of nodes this snapshot serves.
+    pub fn num_nodes(&self) -> usize {
+        self.model.num_nodes()
+    }
+
+    /// Writes the snapshot to `path` (creating or truncating the file).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        self.write_to(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a snapshot from `path`, validating magic, version and every
+    /// section.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let file = File::open(path)?;
+        let mut r = BufReader::new(file);
+        Self::read_from(&mut r)
+    }
+
+    /// Serialises to any writer (the `save` body; exposed for tests and
+    /// in-memory transport).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        w.write_all(SNAPSHOT_MAGIC)?;
+        codec::write_u32(w, SNAPSHOT_VERSION)?;
+        codec::write_string(w, &self.tag)?;
+        // Scalar hyper-parameters.
+        codec::write_f64(w, self.model.delta)?;
+        codec::write_f64(w, self.model.alpha)?;
+        match self.model.alpha_raw {
+            Some(raw) => {
+                codec::write_u32(w, 1)?;
+                codec::write_f32(w, raw)?;
+            }
+            None => codec::write_u32(w, 0)?,
+        }
+        codec::write_f32(w, self.model.dropout)?;
+        codec::write_u32(w, encode_aggregator(self.model.aggregator))?;
+        // Operator.
+        match &self.model.operator {
+            Some(op) => {
+                codec::write_u32(w, 1)?;
+                codec::write_csr(w, op)?;
+            }
+            None => codec::write_u32(w, 0)?,
+        }
+        // Weight stacks.
+        write_mlp(w, &self.model.mlp_a)?;
+        write_mlp(w, &self.model.mlp_x)?;
+        write_mlp(w, &self.model.mlp_h)?;
+        // Serving inputs.
+        codec::write_dense(w, &self.features)?;
+        codec::write_csr(w, &self.adjacency)?;
+        Ok(())
+    }
+
+    /// Deserialises from any reader.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(ServeError::Corrupt {
+                reason: "missing SIGMASNP magic; not a snapshot file".into(),
+            });
+        }
+        let version = codec::read_u32(r)?;
+        if version == 0 || version > SNAPSHOT_VERSION {
+            return Err(ServeError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let tag = codec::read_string(r)?;
+        let delta = codec::read_f64(r)?;
+        let alpha = codec::read_f64(r)?;
+        let alpha_raw = match codec::read_u32(r)? {
+            0 => None,
+            1 => Some(codec::read_f32(r)?),
+            t => {
+                return Err(ServeError::Corrupt {
+                    reason: format!("invalid alpha_raw tag {t}"),
+                })
+            }
+        };
+        let dropout = codec::read_f32(r)?;
+        let aggregator = decode_aggregator(codec::read_u32(r)?)?;
+        let operator = match codec::read_u32(r)? {
+            0 => None,
+            1 => Some(codec::read_csr(r)?),
+            t => {
+                return Err(ServeError::Corrupt {
+                    reason: format!("invalid operator tag {t}"),
+                })
+            }
+        };
+        let mlp_a = read_mlp(r)?;
+        let mlp_x = read_mlp(r)?;
+        let mlp_h = read_mlp(r)?;
+        let features = codec::read_dense(r)?;
+        let adjacency = codec::read_csr(r)?;
+        let model = ModelSnapshot {
+            delta,
+            alpha,
+            alpha_raw,
+            dropout,
+            aggregator,
+            operator,
+            mlp_a,
+            mlp_x,
+            mlp_h,
+        };
+        Self::new(tag, model, features, adjacency)
+    }
+}
+
+fn encode_aggregator(kind: AggregatorKind) -> u32 {
+    match kind {
+        AggregatorKind::SimRank => 0,
+        AggregatorKind::SimRankTimesA => 1,
+        AggregatorKind::Ppr => 2,
+        AggregatorKind::None => 3,
+    }
+}
+
+fn decode_aggregator(tag: u32) -> Result<AggregatorKind> {
+    Ok(match tag {
+        0 => AggregatorKind::SimRank,
+        1 => AggregatorKind::SimRankTimesA,
+        2 => AggregatorKind::Ppr,
+        3 => AggregatorKind::None,
+        t => {
+            return Err(ServeError::Corrupt {
+                reason: format!("unknown aggregator tag {t}"),
+            })
+        }
+    })
+}
+
+fn write_mlp<W: Write>(w: &mut W, stack: &MlpWeights) -> Result<()> {
+    codec::write_u64(w, stack.len() as u64)?;
+    for (weight, bias) in stack {
+        codec::write_dense(w, weight)?;
+        codec::write_dense(w, bias)?;
+    }
+    Ok(())
+}
+
+fn read_mlp<R: Read>(r: &mut R) -> Result<MlpWeights> {
+    let layers = codec::read_u64(r)?;
+    if layers > 1024 {
+        return Err(ServeError::Corrupt {
+            reason: format!("implausible MLP depth {layers}"),
+        });
+    }
+    let mut stack = Vec::with_capacity(layers as usize);
+    for _ in 0..layers {
+        let weight = codec::read_dense(r)?;
+        let bias = codec::read_dense(r)?;
+        stack.push((weight, bias));
+    }
+    Ok(stack)
+}

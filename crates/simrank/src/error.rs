@@ -32,7 +32,10 @@ impl fmt::Display for SimRankError {
             SimRankError::Graph(e) => write!(f, "graph error: {e}"),
             SimRankError::Matrix(e) => write!(f, "matrix error: {e}"),
             SimRankError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
         }
     }
@@ -66,14 +69,20 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        let e = SimRankError::InvalidConfig { name: "c", value: 1.5 };
+        let e = SimRankError::InvalidConfig {
+            name: "c",
+            value: 1.5,
+        };
         assert!(e.to_string().contains("c = 1.5"));
         let e: SimRankError = sigma_graph::GraphError::EmptyGraph.into();
         assert!(matches!(e, SimRankError::Graph(_)));
         assert!(std::error::Error::source(&e).is_some());
         let e: SimRankError = sigma_matrix::MatrixError::NonFiniteValue { op: "t" }.into();
         assert!(matches!(e, SimRankError::Matrix(_)));
-        let e = SimRankError::NodeOutOfBounds { node: 3, num_nodes: 2 };
+        let e = SimRankError::NodeOutOfBounds {
+            node: 3,
+            num_nodes: 2,
+        };
         assert!(e.to_string().contains("node 3"));
     }
 }

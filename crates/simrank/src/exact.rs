@@ -92,7 +92,8 @@ mod tests {
 
     #[test]
     fn symmetry() {
-        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 3), (1, 4)]).unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 3), (1, 4)])
+            .unwrap();
         let s = exact_simrank(&g, &cfg()).unwrap();
         for u in 0..6 {
             for v in 0..6 {

@@ -96,7 +96,13 @@ mod tests {
 
     #[test]
     fn pair_key_round_trips() {
-        for &(u, v) in &[(0, 0), (1, 2), (u32::MAX, 0), (0, u32::MAX), (123_456, 789_012)] {
+        for &(u, v) in &[
+            (0, 0),
+            (1, 2),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (123_456, 789_012),
+        ] {
             assert_eq!(unpack_pair(pair_key(u, v)), (u, v));
         }
     }

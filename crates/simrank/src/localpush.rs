@@ -461,7 +461,15 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
-        assert!(LocalPush::new(&g, SimRankConfig { decay: 1.2, epsilon: 0.1, top_k: None }).is_err());
+        assert!(LocalPush::new(
+            &g,
+            SimRankConfig {
+                decay: 1.2,
+                epsilon: 0.1,
+                top_k: None
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -29,10 +29,16 @@ pub fn pairwise_walk_simrank(
 ) -> Result<f64> {
     let n = graph.num_nodes();
     if u >= n {
-        return Err(SimRankError::NodeOutOfBounds { node: u, num_nodes: n });
+        return Err(SimRankError::NodeOutOfBounds {
+            node: u,
+            num_nodes: n,
+        });
     }
     if v >= n {
-        return Err(SimRankError::NodeOutOfBounds { node: v, num_nodes: n });
+        return Err(SimRankError::NodeOutOfBounds {
+            node: v,
+            num_nodes: n,
+        });
     }
     if u == v {
         return Ok(1.0);
@@ -71,7 +77,10 @@ mod tests {
     #[test]
     fn identical_nodes_have_similarity_one() {
         let g = shared_neighbors_graph();
-        assert_eq!(pairwise_walk_simrank(&g, 1, 1, 0.6, 10, 10, 0).unwrap(), 1.0);
+        assert_eq!(
+            pairwise_walk_simrank(&g, 1, 1, 0.6, 10, 10, 0).unwrap(),
+            1.0
+        );
     }
 
     #[test]

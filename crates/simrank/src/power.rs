@@ -100,8 +100,10 @@ mod tests {
     #[test]
     fn more_iterations_only_add_mass() {
         let g = bipartite_example();
-        let loose = power_iteration_simrank(&g, &SimRankConfig::new(0.6, 0.3, None).unwrap()).unwrap();
-        let tight = power_iteration_simrank(&g, &SimRankConfig::new(0.6, 0.01, None).unwrap()).unwrap();
+        let loose =
+            power_iteration_simrank(&g, &SimRankConfig::new(0.6, 0.3, None).unwrap()).unwrap();
+        let tight =
+            power_iteration_simrank(&g, &SimRankConfig::new(0.6, 0.01, None).unwrap()).unwrap();
         for u in 0..4 {
             for v in 0..4 {
                 assert!(tight.get(u, v) + 1e-6 >= loose.get(u, v));

@@ -85,8 +85,7 @@ pub fn power_iteration_ppr(graph: &Graph, source: usize, cfg: &PprConfig) -> Res
     let mut next = vec![0.0f64; n];
     for _ in 0..cfg.iterations {
         next.iter_mut().for_each(|v| *v = 0.0);
-        for u in 0..n {
-            let mass = pi[u];
+        for (u, &mass) in pi.iter().enumerate() {
             if mass == 0.0 {
                 continue;
             }
@@ -209,11 +208,7 @@ mod tests {
 
     fn barbell() -> Graph {
         // Two triangles joined by a bridge: strong locality structure.
-        Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
-        .unwrap()
+        Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]).unwrap()
     }
 
     #[test]
@@ -232,8 +227,24 @@ mod tests {
     #[test]
     fn higher_alpha_concentrates_mass_at_source() {
         let g = barbell();
-        let low = power_iteration_ppr(&g, 0, &PprConfig { alpha: 0.1, ..PprConfig::default() }).unwrap();
-        let high = power_iteration_ppr(&g, 0, &PprConfig { alpha: 0.5, ..PprConfig::default() }).unwrap();
+        let low = power_iteration_ppr(
+            &g,
+            0,
+            &PprConfig {
+                alpha: 0.1,
+                ..PprConfig::default()
+            },
+        )
+        .unwrap();
+        let high = power_iteration_ppr(
+            &g,
+            0,
+            &PprConfig {
+                alpha: 0.5,
+                ..PprConfig::default()
+            },
+        )
+        .unwrap();
         assert!(high[0] > low[0]);
     }
 
@@ -246,13 +257,9 @@ mod tests {
         };
         let exact = power_iteration_ppr(&g, 1, &cfg).unwrap();
         let approx = forward_push_ppr(&g, 1, &cfg).unwrap();
-        for v in 0..g.num_nodes() {
+        for (v, &e) in exact.iter().enumerate() {
             let a = approx.get(&v).copied().unwrap_or(0.0);
-            assert!(
-                (a - exact[v]).abs() < 1e-2,
-                "node {v}: push {a} vs exact {}",
-                exact[v]
-            );
+            assert!((a - e).abs() < 1e-2, "node {v}: push {a} vs exact {e}");
         }
     }
 
@@ -303,10 +310,34 @@ mod tests {
     #[test]
     fn invalid_configs_and_nodes_rejected() {
         let g = barbell();
-        assert!(power_iteration_ppr(&g, 0, &PprConfig { alpha: 0.0, ..Default::default() }).is_err());
+        assert!(power_iteration_ppr(
+            &g,
+            0,
+            &PprConfig {
+                alpha: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(power_iteration_ppr(&g, 99, &PprConfig::default()).is_err());
         assert!(forward_push_ppr(&g, 99, &PprConfig::default()).is_err());
-        assert!(forward_push_ppr(&g, 0, &PprConfig { r_max: 0.0, ..Default::default() }).is_err());
-        assert!(power_iteration_ppr(&g, 0, &PprConfig { iterations: 0, ..Default::default() }).is_err());
+        assert!(forward_push_ppr(
+            &g,
+            0,
+            &PprConfig {
+                r_max: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(power_iteration_ppr(
+            &g,
+            0,
+            &PprConfig {
+                iterations: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 }

@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 use sigma_graph::Graph;
 use sigma_simrank::{
-    exact_simrank, forward_push_ppr, power_iteration_ppr, power_iteration_simrank,
-    DynamicSimRank, EdgeUpdate, LocalPush, PprConfig, SimRankConfig,
+    exact_simrank, forward_push_ppr, power_iteration_ppr, power_iteration_simrank, DynamicSimRank,
+    EdgeUpdate, LocalPush, PprConfig, SimRankConfig,
 };
 
 const MAX_NODES: usize = 14;

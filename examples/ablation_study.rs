@@ -46,8 +46,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("SIGMA w/ S*A", base, AggregatorKind::SimRankTimesA),
         ("SIGMA w/ PPR", base, AggregatorKind::Ppr),
         ("SIGMA w/o S", base, AggregatorKind::None),
-        ("SIGMA w/o X (delta=0)", base.with_delta(0.0), AggregatorKind::SimRank),
-        ("SIGMA w/o A (delta=1)", base.with_delta(1.0), AggregatorKind::SimRank),
+        (
+            "SIGMA w/o X (delta=0)",
+            base.with_delta(0.0),
+            AggregatorKind::SimRank,
+        ),
+        (
+            "SIGMA w/o A (delta=1)",
+            base.with_delta(1.0),
+            AggregatorKind::SimRank,
+        ),
     ];
 
     println!("\n{:<24}  {:>9}  {:>9}", "variant", "val acc", "test acc");

@@ -15,7 +15,12 @@ use sigma_datasets::{generate, GeneratorConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let homophily_levels = [0.1, 0.3, 0.5, 0.7, 0.9];
-    let kinds = [ModelKind::Sigma, ModelKind::Linkx, ModelKind::Gcn(2), ModelKind::Mlp];
+    let kinds = [
+        ModelKind::Sigma,
+        ModelKind::Linkx,
+        ModelKind::Gcn(2),
+        ModelKind::Mlp,
+    ];
     let trainer = Trainer::new(TrainConfig {
         epochs: 120,
         patience: 30,

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let trainer = Trainer::new(train_cfg);
 
-    println!("\n{:<8}  {:>9}  {:>9}  {:>12}", "model", "val acc", "test acc", "train time");
+    println!(
+        "\n{:<8}  {:>9}  {:>9}  {:>12}",
+        "model", "val acc", "test acc", "train time"
+    );
     for kind in [ModelKind::Sigma, ModelKind::Gcn(2), ModelKind::Mlp] {
         let mut model = kind.build(&ctx, &hyper, 7)?;
         let report = trainer.train(model.as_mut(), &ctx, &split, 7)?;

@@ -1,0 +1,10 @@
+//! Workspace root crate.
+//!
+//! Exists to host the cross-crate integration tests in `tests/` and the
+//! runnable examples in `examples/`; the actual library code lives in the
+//! `crates/` members. Re-exports the top-level façade for convenience.
+
+#![deny(missing_docs)]
+
+pub use sigma;
+pub use sigma_serve;

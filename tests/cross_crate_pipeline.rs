@@ -57,13 +57,20 @@ fn edge_rescaling_feeds_the_full_pipeline() {
         num_classes: data.num_classes,
     };
     let split = smaller.default_split(4).unwrap();
-    let ctx = ContextBuilder::new(smaller).with_simrank_topk(8).build().unwrap();
+    let ctx = ContextBuilder::new(smaller)
+        .with_simrank_topk(8)
+        .build()
+        .unwrap();
     let mut model = ModelKind::Sigma
         .build(&ctx, &ModelHyperParams::small(), 4)
         .unwrap();
-    let report = Trainer::new(TrainConfig { epochs: 5, patience: 0, ..TrainConfig::default() })
-        .train(model.as_mut(), &ctx, &split, 4)
-        .unwrap();
+    let report = Trainer::new(TrainConfig {
+        epochs: 5,
+        patience: 0,
+        ..TrainConfig::default()
+    })
+    .train(model.as_mut(), &ctx, &split, 4)
+    .unwrap();
     assert!(report.final_train_loss.is_finite());
 }
 
@@ -74,14 +81,25 @@ fn sigma_aggregation_time_is_smaller_than_glognn() {
     // aggregation on the same graph and budget.
     let data = DatasetPreset::Penn94.build(1.0, 5).unwrap();
     let split = data.default_split(5).unwrap();
-    let ctx = ContextBuilder::new(data).with_simrank_topk(16).build().unwrap();
-    let trainer = Trainer::new(TrainConfig { epochs: 20, patience: 0, ..TrainConfig::default() });
+    let ctx = ContextBuilder::new(data)
+        .with_simrank_topk(16)
+        .build()
+        .unwrap();
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 20,
+        patience: 0,
+        ..TrainConfig::default()
+    });
     let hyper = ModelHyperParams::small();
 
     let mut sigma_model = ModelKind::Sigma.build(&ctx, &hyper, 5).unwrap();
-    let sigma_report = trainer.train(sigma_model.as_mut(), &ctx, &split, 5).unwrap();
+    let sigma_report = trainer
+        .train(sigma_model.as_mut(), &ctx, &split, 5)
+        .unwrap();
     let mut glognn_model = ModelKind::GloGnn.build(&ctx, &hyper, 5).unwrap();
-    let glognn_report = trainer.train(glognn_model.as_mut(), &ctx, &split, 5).unwrap();
+    let glognn_report = trainer
+        .train(glognn_model.as_mut(), &ctx, &split, 5)
+        .unwrap();
 
     assert!(
         sigma_report.aggregation_time < glognn_report.aggregation_time,
@@ -97,10 +115,17 @@ fn ablation_variants_all_train_and_expose_their_aggregator() {
     let split = data.default_split(6).unwrap();
     let ctx = ContextBuilder::new(data)
         .with_simrank_topk(8)
-        .with_ppr(PprConfig { top_k: Some(8), ..PprConfig::default() })
+        .with_ppr(PprConfig {
+            top_k: Some(8),
+            ..PprConfig::default()
+        })
         .build()
         .unwrap();
-    let trainer = Trainer::new(TrainConfig { epochs: 5, patience: 0, ..TrainConfig::default() });
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 5,
+        patience: 0,
+        ..TrainConfig::default()
+    });
     for aggregator in [
         AggregatorKind::SimRank,
         AggregatorKind::SimRankTimesA,
@@ -115,7 +140,10 @@ fn ablation_variants_all_train_and_expose_their_aggregator() {
         let report = trainer
             .train(&mut model as &mut dyn Model, &ctx, &split, 6)
             .unwrap();
-        assert!(report.final_train_loss.is_finite(), "{aggregator:?} diverged");
+        assert!(
+            report.final_train_loss.is_finite(),
+            "{aggregator:?} diverged"
+        );
     }
 }
 

@@ -96,8 +96,13 @@ fn mismatched_external_operator_is_rejected() {
 fn trainer_rejects_zero_epochs() {
     let data = tiny_dataset();
     let split = data.default_split(0).unwrap();
-    let ctx = ContextBuilder::new(data).with_simrank_topk(8).build().unwrap();
-    let mut model = ModelKind::Sigma.build(&ctx, &ModelHyperParams::small(), 0).unwrap();
+    let ctx = ContextBuilder::new(data)
+        .with_simrank_topk(8)
+        .build()
+        .unwrap();
+    let mut model = ModelKind::Sigma
+        .build(&ctx, &ModelHyperParams::small(), 0)
+        .unwrap();
     let trainer = Trainer::new(TrainConfig {
         epochs: 0,
         ..TrainConfig::default()
@@ -131,14 +136,21 @@ fn dynamic_simrank_surfaces_bad_edits_and_configs() {
 fn preset_scaling_never_produces_an_unusable_dataset() {
     // Even at aggressive down-scaling the presets stay trainable: non-empty
     // splits, consistent dimensions, finite features.
-    for preset in [DatasetPreset::Texas, DatasetPreset::Pokec, DatasetPreset::SnapPatents] {
+    for preset in [
+        DatasetPreset::Texas,
+        DatasetPreset::Pokec,
+        DatasetPreset::SnapPatents,
+    ] {
         let data = preset.build(0.05, 3).unwrap();
         assert!(data.num_nodes() >= data.num_classes * 4);
         assert!(data.features.is_finite());
         let split = data.default_split(3).unwrap();
         assert!(!split.train.is_empty());
         assert!(!split.test.is_empty());
-        let ctx = ContextBuilder::new(data).with_simrank_topk(4).build().unwrap();
+        let ctx = ContextBuilder::new(data)
+            .with_simrank_topk(4)
+            .build()
+            .unwrap();
         assert!(ctx.simrank().is_some());
     }
 }

@@ -30,10 +30,27 @@ fn theorem_3_2_pairwise_walk_decomposition_matches_simrank() {
     // Σ_ℓ c^ℓ P(first meeting at ℓ) must agree with the fixed-point SimRank.
     let g = Graph::from_edges(
         8,
-        &[(0, 2), (1, 2), (0, 3), (1, 3), (2, 4), (3, 5), (4, 6), (5, 6), (6, 7)],
+        &[
+            (0, 2),
+            (1, 2),
+            (0, 3),
+            (1, 3),
+            (2, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+            (6, 7),
+        ],
     )
     .unwrap();
-    let exact = exact_simrank(&g, &SimRankConfig { epsilon: 0.001, ..SimRankConfig::default() }).unwrap();
+    let exact = exact_simrank(
+        &g,
+        &SimRankConfig {
+            epsilon: 0.001,
+            ..SimRankConfig::default()
+        },
+    )
+    .unwrap();
     for (u, v) in [(0usize, 1usize), (2, 3), (4, 5), (0, 7)] {
         let estimate = pairwise_walk_simrank(&g, u, v, 0.6, 40, 30_000, 17).unwrap();
         assert!(
@@ -109,7 +126,12 @@ fn theorem_3_4_sigma_output_exhibits_grouping_effect() {
     let mut edges: Vec<(usize, usize)> = data.graph.edges().collect();
     let twin_a = n;
     let twin_b = n + 1;
-    let anchor_neighbors: Vec<usize> = data.graph.neighbors(base).iter().map(|&x| x as usize).collect();
+    let anchor_neighbors: Vec<usize> = data
+        .graph
+        .neighbors(base)
+        .iter()
+        .map(|&x| x as usize)
+        .collect();
     for &nb in &anchor_neighbors {
         edges.push((twin_a, nb));
         edges.push((twin_b, nb));
@@ -133,7 +155,10 @@ fn theorem_3_4_sigma_output_exhibits_grouping_effect() {
         num_classes: data.num_classes,
     };
 
-    let ctx = ContextBuilder::new(twin_dataset).with_simrank_topk(16).build().unwrap();
+    let ctx = ContextBuilder::new(twin_dataset)
+        .with_simrank_topk(16)
+        .build()
+        .unwrap();
     let hyper = ModelHyperParams::small().with_dropout(0.0);
     let mut rng = StdRng::seed_from_u64(5);
     let mut model = SigmaModel::new(&ctx, &hyper, &mut rng).unwrap();
