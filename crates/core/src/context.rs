@@ -43,6 +43,7 @@ pub struct GraphContext {
     simrank: Option<CsrMatrix>,
     ppr: Option<CsrMatrix>,
     timings: PrecomputeTimings,
+    threads: usize,
 }
 
 impl GraphContext {
@@ -134,6 +135,16 @@ impl GraphContext {
     pub fn timings(&self) -> PrecomputeTimings {
         self.timings
     }
+
+    /// The shared-pool thread count this context was precomputed with.
+    ///
+    /// Every model training against the context inherits it implicitly: the
+    /// hot kernels (`spmm`, `spmm_transpose`, GEMM, LocalPush) all dispatch
+    /// onto the global [`sigma_parallel::ThreadPool`], whose results are
+    /// bitwise identical at any thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
 }
 
 /// Builder for [`GraphContext`], controlling which operators are precomputed.
@@ -144,6 +155,7 @@ pub struct ContextBuilder {
     simrank_operator: Option<CsrMatrix>,
     ppr_config: Option<PprConfig>,
     with_two_hop: bool,
+    threads: Option<usize>,
 }
 
 impl ContextBuilder {
@@ -155,7 +167,23 @@ impl ContextBuilder {
             simrank_operator: None,
             ppr_config: None,
             with_two_hop: false,
+            threads: None,
         }
+    }
+
+    /// Sets the shared-pool thread count used for precomputation *and* by
+    /// every model trained against this context (the kernels dispatch onto
+    /// the process-wide [`sigma_parallel::ThreadPool`], so no per-model
+    /// change is needed). Without this call the pool keeps its current size
+    /// (`SIGMA_NUM_THREADS` or the core count).
+    ///
+    /// This is a convenience over [`sigma_parallel::set_global_threads`]:
+    /// the setting is **process-global** and stays in effect after `build`
+    /// (it is not scoped to this context). Kernel results are bitwise
+    /// identical at any thread count, so it only changes throughput.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// Enables SimRank precomputation with the paper's defaults
@@ -195,6 +223,10 @@ impl ContextBuilder {
 
     /// Runs the precomputation and returns the context.
     pub fn build(self) -> Result<GraphContext> {
+        if let Some(threads) = self.threads {
+            sigma_parallel::set_global_threads(threads);
+        }
+        let threads = sigma_parallel::current_threads();
         let mut timings = PrecomputeTimings::default();
 
         let op_start = Instant::now();
@@ -250,6 +282,7 @@ impl ContextBuilder {
             simrank,
             ppr,
             timings,
+            threads,
         })
     }
 }

@@ -22,6 +22,14 @@ pub struct TrainConfig {
     pub patience: usize,
     /// Record a history entry every `record_every` epochs (for Fig. 4).
     pub record_every: usize,
+    /// Shared-pool thread count for the hot kernels during training
+    /// (`None` keeps the pool's current size — `SIGMA_NUM_THREADS` or the
+    /// core count). A convenience over
+    /// [`sigma_parallel::set_global_threads`]: the setting is
+    /// **process-global** and persists after the run. Kernel results are
+    /// bitwise identical at any thread count, so this only changes
+    /// wall-clock time, never the trained model.
+    pub threads: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -32,6 +40,7 @@ impl Default for TrainConfig {
             weight_decay: 5e-4,
             patience: 50,
             record_every: 5,
+            threads: None,
         }
     }
 }
@@ -107,6 +116,9 @@ impl Trainer {
                 name: "epochs",
                 reason: "training requires at least one epoch".to_string(),
             });
+        }
+        if let Some(threads) = self.config.threads {
+            sigma_parallel::set_global_threads(threads.max(1));
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut optimizer =
@@ -197,6 +209,7 @@ mod tests {
             weight_decay: 0.0,
             patience: 0,
             record_every: 2,
+            ..TrainConfig::default()
         }
     }
 

@@ -1,4 +1,5 @@
 use crate::{DenseMatrix, MatrixError, Result};
+use sigma_parallel::ThreadPool;
 
 /// A compressed sparse row (CSR) `f32` matrix.
 ///
@@ -7,7 +8,10 @@ use crate::{DenseMatrix, MatrixError, Result};
 /// pruned SimRank matrix `S`, and top-k Personalized PageRank matrices.
 /// The two kernels that dominate training cost are [`CsrMatrix::spmm`]
 /// (`S·H` in the forward pass) and [`CsrMatrix::spmm_transpose`]
-/// (`Sᵀ·dZ` in the backward pass); both run in `O(nnz · f)`.
+/// (`Sᵀ·dZ` in the backward pass); both run in `O(nnz · f)` and are
+/// parallelised over disjoint output-row ranges on the shared
+/// [`sigma_parallel::ThreadPool`], with results bitwise identical to the
+/// serial path for every thread count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     rows: usize,
@@ -124,6 +128,14 @@ impl CsrMatrix {
                     col: c as usize,
                     shape: (rows, cols),
                 });
+            }
+        }
+        // Column indices must be sorted within each row: the column-range
+        // partitioned parallel kernels binary-search row slices.
+        for r in 0..rows {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            if row.windows(2).any(|w| w[1] < w[0]) {
+                return Err(MatrixError::UnsortedRow { row: r });
             }
         }
         Ok(Self {
@@ -245,6 +257,11 @@ impl CsrMatrix {
     }
 
     /// Sparse × dense product: `self · rhs`.
+    ///
+    /// Parallelised over disjoint output-row blocks on the shared pool; each
+    /// output row is produced by exactly one thread with the serial
+    /// accumulation order, so the result is bitwise identical to the serial
+    /// path at every thread count.
     pub fn spmm(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
         if self.cols != rhs.rows() {
             return Err(MatrixError::DimensionMismatch {
@@ -255,9 +272,28 @@ impl CsrMatrix {
         }
         let f = rhs.cols();
         let mut out = DenseMatrix::zeros(self.rows, f);
-        for r in 0..self.rows {
+        if f == 0 || self.rows == 0 {
+            return Ok(out);
+        }
+        let pool = ThreadPool::global();
+        if pool.should_parallelize(self.nnz().saturating_mul(f)) {
+            pool.par_row_blocks_mut(out.as_mut_slice(), f, |first_row, block| {
+                self.spmm_block(first_row, rhs, block);
+            });
+        } else {
+            self.spmm_block(0, rhs, out.as_mut_slice());
+        }
+        Ok(out)
+    }
+
+    /// Computes output rows `first_row ..` of `self · rhs` into `block`
+    /// (`block.len() / rhs.cols()` rows). Shared by the serial and parallel
+    /// paths of [`CsrMatrix::spmm`].
+    fn spmm_block(&self, first_row: usize, rhs: &DenseMatrix, block: &mut [f32]) {
+        let f = rhs.cols();
+        for (i, out_row) in block.chunks_exact_mut(f).enumerate() {
+            let r = first_row + i;
             let (start, end) = (self.indptr[r], self.indptr[r + 1]);
-            let out_row = out.row_mut(r);
             for idx in start..end {
                 let c = self.indices[idx] as usize;
                 let v = self.values[idx];
@@ -267,13 +303,18 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(out)
     }
 
     /// Transposed sparse × dense product: `selfᵀ · rhs`.
     ///
-    /// Implemented as a scatter over rows of `self`, avoiding an explicit
-    /// transpose; used for backpropagation through constant operators.
+    /// The serial path is a scatter over rows of `self`, avoiding an
+    /// explicit transpose; used for backpropagation through constant
+    /// operators. The parallel path partitions the *output* rows (columns of
+    /// `self`) instead: each thread scans every input row and binary-searches
+    /// the slice of entries landing in its column range, so writes stay
+    /// disjoint. For a fixed output row both paths accumulate contributions
+    /// in the same `(input row, entry)` order, making the result bitwise
+    /// identical to the serial scatter at every thread count.
     pub fn spmm_transpose(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
         if self.rows != rhs.rows() {
             return Err(MatrixError::DimensionMismatch {
@@ -284,15 +325,45 @@ impl CsrMatrix {
         }
         let f = rhs.cols();
         let mut out = DenseMatrix::zeros(self.cols, f);
-        for r in 0..self.rows {
-            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
-            let rhs_row = rhs.row(r);
-            for idx in start..end {
-                let c = self.indices[idx] as usize;
-                let v = self.values[idx];
-                let out_row = out.row_mut(c);
-                for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += v * x;
+        if f == 0 || self.cols == 0 {
+            return Ok(out);
+        }
+        let pool = ThreadPool::global();
+        if pool.should_parallelize(self.nnz().saturating_mul(f)) {
+            pool.par_row_blocks_mut(out.as_mut_slice(), f, |first_col, block| {
+                let cols_in_block = block.len() / f;
+                let (c0, c1) = (first_col, first_col + cols_in_block);
+                for r in 0..self.rows {
+                    let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+                    let row_cols = &self.indices[start..end];
+                    // Entries are sorted by column within a row: locate the
+                    // sub-slice that lands in this thread's output range.
+                    let lo = start + row_cols.partition_point(|&c| (c as usize) < c0);
+                    let rhs_row = rhs.row(r);
+                    for idx in lo..end {
+                        let c = self.indices[idx] as usize;
+                        if c >= c1 {
+                            break;
+                        }
+                        let v = self.values[idx];
+                        let out_row = &mut block[(c - c0) * f..(c - c0 + 1) * f];
+                        for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
+                            *o += v * x;
+                        }
+                    }
+                }
+            });
+        } else {
+            for r in 0..self.rows {
+                let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+                let rhs_row = rhs.row(r);
+                for idx in start..end {
+                    let c = self.indices[idx] as usize;
+                    let v = self.values[idx];
+                    let out_row = out.row_mut(c);
+                    for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
+                        *o += v * x;
+                    }
                 }
             }
         }
@@ -302,7 +373,10 @@ impl CsrMatrix {
     /// Sparse × sparse product `self · rhs`, returned as CSR.
     ///
     /// Used to form multi-hop operators such as `Â²` (H2GCN / MixHop) and
-    /// `S·A` (the localized SIGMA ablation of Table VIII).
+    /// `S·A` (the localized SIGMA ablation of Table VIII). Output rows are
+    /// independent (classic Gustavson algorithm), so row ranges run in
+    /// parallel with per-range buffers concatenated in range order — the
+    /// assembled matrix is identical to the serial result.
     pub fn spgemm(&self, rhs: &CsrMatrix) -> Result<CsrMatrix> {
         if self.cols != rhs.rows {
             return Err(MatrixError::DimensionMismatch {
@@ -311,14 +385,51 @@ impl CsrMatrix {
                 rhs: rhs.shape(),
             });
         }
+        let pool = ThreadPool::global();
+        // Work estimate: flops = Σ_r Σ_{k ∈ row r} nnz(rhs row k) is what the
+        // kernel actually spends; nnz(self) + nnz(rhs) is a cheap stand-in.
+        let parts = if pool.should_parallelize(self.nnz().saturating_add(rhs.nnz())) {
+            pool.par_map_ranges(self.rows, |range| self.spgemm_rows(rhs, range))
+        } else {
+            vec![self.spgemm_rows(rhs, 0..self.rows)]
+        };
+        let total_nnz: usize = parts.iter().map(|(_, idx, _)| idx.len()).sum();
         let mut indptr = Vec::with_capacity(self.rows + 1);
         indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::with_capacity(total_nnz);
+        let mut values: Vec<f32> = Vec::with_capacity(total_nnz);
+        for (row_nnz, part_indices, part_values) in parts {
+            let base = indices.len();
+            for nnz in row_nnz {
+                indptr.push(base + nnz);
+            }
+            indices.extend_from_slice(&part_indices);
+            values.extend_from_slice(&part_values);
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Gustavson sparse × sparse over one output-row range; returns the
+    /// range's cumulative per-row nnz plus its indices/values, concatenated
+    /// by [`CsrMatrix::spgemm`] in range order.
+    fn spgemm_rows(
+        &self,
+        rhs: &CsrMatrix,
+        range: std::ops::Range<usize>,
+    ) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+        let mut row_nnz = Vec::with_capacity(range.len());
         let mut indices: Vec<u32> = Vec::new();
         let mut values: Vec<f32> = Vec::new();
         // Dense accumulator reused across rows (classic Gustavson algorithm).
         let mut acc = vec![0.0f32; rhs.cols];
         let mut touched: Vec<u32> = Vec::new();
-        for r in 0..self.rows {
+        for r in range {
             touched.clear();
             for (k, v) in self.row_iter(r) {
                 let (start, end) = (rhs.indptr[k], rhs.indptr[k + 1]);
@@ -339,15 +450,9 @@ impl CsrMatrix {
                 }
                 acc[c as usize] = 0.0;
             }
-            indptr.push(indices.len());
+            row_nnz.push(indices.len());
         }
-        Ok(CsrMatrix {
-            rows: self.rows,
-            cols: rhs.cols,
-            indptr,
-            indices,
-            values,
-        })
+        (row_nnz, indices, values)
     }
 
     /// Returns the transpose as a new CSR matrix.
@@ -485,7 +590,8 @@ impl CsrMatrix {
         }
         let f = rhs.cols();
         let mut out = DenseMatrix::zeros(rows.len(), f);
-        for (dst, &r) in rows.iter().enumerate() {
+        let mut work = 0usize;
+        for &r in rows {
             if r >= self.rows {
                 return Err(MatrixError::IndexOutOfBounds {
                     row: r,
@@ -493,16 +599,30 @@ impl CsrMatrix {
                     shape: self.shape(),
                 });
             }
-            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
-            let out_row = out.row_mut(dst);
-            for idx in start..end {
-                let c = self.indices[idx] as usize;
-                let v = self.values[idx];
-                let rhs_row = rhs.row(c);
-                for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += v * x;
+            work = work.saturating_add(self.row_nnz(r));
+        }
+        if f == 0 || rows.is_empty() {
+            return Ok(out);
+        }
+        let slice_block = |first: usize, block: &mut [f32]| {
+            for (i, out_row) in block.chunks_exact_mut(f).enumerate() {
+                let r = rows[first + i];
+                let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+                for idx in start..end {
+                    let c = self.indices[idx] as usize;
+                    let v = self.values[idx];
+                    let rhs_row = rhs.row(c);
+                    for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
+                        *o += v * x;
+                    }
                 }
             }
+        };
+        let pool = ThreadPool::global();
+        if pool.should_parallelize(work.saturating_mul(f)) {
+            pool.par_row_blocks_mut(out.as_mut_slice(), f, slice_block);
+        } else {
+            slice_block(0, out.as_mut_slice());
         }
         Ok(out)
     }
@@ -653,6 +773,68 @@ mod tests {
                 assert!((c.get(r, col) - dense.get(r, col)).abs() < 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn spgemm_identity_operand_is_noop() {
+        let m = sample();
+        let i = CsrMatrix::identity(3);
+        // Identity on either side reproduces the operand exactly.
+        assert_eq!(i.spgemm(&m).unwrap(), m);
+        assert_eq!(m.spgemm(&i).unwrap(), m);
+    }
+
+    #[test]
+    fn spgemm_with_empty_matrices() {
+        let m = sample();
+        // A structurally empty operand annihilates the product but keeps shape.
+        let zero = CsrMatrix::from_triplets(3, 3, &[]).unwrap();
+        let left = zero.spgemm(&m).unwrap();
+        assert_eq!(left.shape(), (3, 3));
+        assert_eq!(left.nnz(), 0);
+        let right = m.spgemm(&zero).unwrap();
+        assert_eq!(right.shape(), (3, 3));
+        assert_eq!(right.nnz(), 0);
+        // Degenerate zero-dimension products: (0×3)·(3×3) and (3×3)·(3×0).
+        let nil_rows = CsrMatrix::from_triplets(0, 3, &[]).unwrap();
+        assert_eq!(nil_rows.spgemm(&m).unwrap().shape(), (0, 3));
+        let nil_cols = CsrMatrix::from_triplets(3, 0, &[]).unwrap();
+        assert_eq!(m.spgemm(&nil_cols).unwrap().shape(), (3, 0));
+    }
+
+    #[test]
+    fn spgemm_dimension_mismatch_is_rejected() {
+        let m = sample(); // 3 × 3
+        let wide = CsrMatrix::from_triplets(4, 2, &[(0, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            m.spgemm(&wide),
+            Err(MatrixError::DimensionMismatch { op: "spgemm", .. })
+        ));
+    }
+
+    #[test]
+    fn spgemm_cancellation_drops_exact_zeros() {
+        // Row 0 contributes +1·1 and −1·1 to output column 0: the exact
+        // cancellation must be pruned from the structure, matching the
+        // serial Gustavson behaviour.
+        let a = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, -1.0)]).unwrap();
+        let b = CsrMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
+        let c = a.spgemm(&b).unwrap();
+        assert_eq!(c.shape(), (1, 1));
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn from_raw_rejects_unsorted_rows() {
+        // Sorted-within-row is a structural invariant the column-partitioned
+        // parallel kernels rely on; the error names the offending row.
+        assert!(matches!(
+            CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]),
+            Err(MatrixError::UnsortedRow { row: 0 })
+        ));
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 1.0]).is_ok());
+        // Duplicate (equal) columns within a row remain legal.
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_ok());
     }
 
     #[test]

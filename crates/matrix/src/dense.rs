@@ -1,4 +1,5 @@
 use crate::{MatrixError, Result};
+use sigma_parallel::ThreadPool;
 
 /// A row-major dense `f32` matrix.
 ///
@@ -7,7 +8,11 @@ use crate::{MatrixError, Result};
 /// reproduction. It deliberately exposes a small, allocation-conscious API:
 /// in-place element-wise updates, GEMM variants needed by manual
 /// backpropagation (`A·B`, `Aᵀ·B`, `A·Bᵀ`), and the reductions used by the
-/// training loop (row argmax, norms, means).
+/// training loop (row argmax, norms, means). The three GEMM variants are
+/// parallelised over disjoint output-row ranges on the shared
+/// [`sigma_parallel::ThreadPool`]; every output element keeps the serial
+/// accumulation order, so results are bitwise identical to the serial path
+/// at any thread count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix {
     rows: usize,
@@ -265,6 +270,9 @@ impl DenseMatrix {
     }
 
     /// Dense GEMM: returns `self · other`.
+    ///
+    /// Output-row blocks run in parallel on the shared pool; each row keeps
+    /// the serial i-k-j accumulation order (bitwise-identical results).
     pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
         if self.cols != other.rows {
             return Err(MatrixError::DimensionMismatch {
@@ -274,25 +282,45 @@ impl DenseMatrix {
             });
         }
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams through `other` row-by-row for locality.
-        for i in 0..self.rows {
-            let out_row_start = i * other.cols;
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[out_row_start..out_row_start + other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        if self.rows == 0 || other.cols == 0 {
+            return Ok(out);
+        }
+        let oc = other.cols;
+        let block_fn = |first_row: usize, block: &mut [f32]| {
+            // i-k-j loop order: streams through `other` row-by-row for locality.
+            for (i, out_row) in block.chunks_exact_mut(oc).enumerate() {
+                let r = first_row + i;
+                for k in 0..self.cols {
+                    let a = self.data[r * self.cols + k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[k * oc..(k + 1) * oc];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
+        };
+        let work = self
+            .rows
+            .saturating_mul(self.cols)
+            .saturating_mul(other.cols);
+        let pool = ThreadPool::global();
+        if pool.should_parallelize(work) {
+            pool.par_row_blocks_mut(out.as_mut_slice(), oc, block_fn);
+        } else {
+            block_fn(0, out.as_mut_slice());
         }
         Ok(out)
     }
 
     /// Returns `selfᵀ · other`. Used for weight gradients (`dW = Xᵀ·dY`).
+    ///
+    /// The serial path scatters row-by-row; the parallel path partitions the
+    /// *output* rows (columns of `self`) so writes stay disjoint. For a fixed
+    /// output row both accumulate over input rows in ascending order, so the
+    /// results are bitwise identical.
     pub fn matmul_transpose_self(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
         if self.rows != other.rows {
             return Err(MatrixError::DimensionMismatch {
@@ -302,16 +330,43 @@ impl DenseMatrix {
             });
         }
         let mut out = DenseMatrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        if self.cols == 0 || other.cols == 0 {
+            return Ok(out);
+        }
+        let oc = other.cols;
+        let work = self
+            .rows
+            .saturating_mul(self.cols)
+            .saturating_mul(other.cols);
+        let pool = ThreadPool::global();
+        if pool.should_parallelize(work) {
+            pool.par_row_blocks_mut(out.as_mut_slice(), oc, |first_k, block| {
+                for r in 0..self.rows {
+                    let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+                    let b_row = &other.data[r * oc..(r + 1) * oc];
+                    for (i, out_row) in block.chunks_exact_mut(oc).enumerate() {
+                        let a = a_row[first_k + i];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
                 }
-                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+            });
+        } else {
+            for r in 0..self.rows {
+                let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+                let b_row = &other.data[r * oc..(r + 1) * oc];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[k * oc..(k + 1) * oc];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
         }
@@ -319,6 +374,9 @@ impl DenseMatrix {
     }
 
     /// Returns `self · otherᵀ`. Used for input gradients (`dX = dY·Wᵀ`).
+    ///
+    /// Each output row is an independent set of dot products; row blocks run
+    /// in parallel with identical per-element accumulation order.
     pub fn matmul_transpose_other(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
         if self.cols != other.cols {
             return Err(MatrixError::DimensionMismatch {
@@ -328,16 +386,33 @@ impl DenseMatrix {
             });
         }
         let mut out = DenseMatrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+        if self.rows == 0 || other.rows == 0 {
+            return Ok(out);
+        }
+        let or = other.rows;
+        let block_fn = |first_row: usize, block: &mut [f32]| {
+            for (i, out_row) in block.chunks_exact_mut(or).enumerate() {
+                let r = first_row + i;
+                let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                out.data[i * other.rows + j] = acc;
             }
+        };
+        let work = self
+            .rows
+            .saturating_mul(self.cols)
+            .saturating_mul(other.rows);
+        let pool = ThreadPool::global();
+        if pool.should_parallelize(work) {
+            pool.par_row_blocks_mut(out.as_mut_slice(), or, block_fn);
+        } else {
+            block_fn(0, out.as_mut_slice());
         }
         Ok(out)
     }

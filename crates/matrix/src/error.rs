@@ -35,6 +35,13 @@ pub enum MatrixError {
         /// Name of the operation that detected the value.
         op: &'static str,
     },
+    /// A CSR constructor received a row whose column indices are not sorted
+    /// ascending — a structural invariant the column-range partitioned
+    /// parallel kernels rely on.
+    UnsortedRow {
+        /// Index of the first offending row.
+        row: usize,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -58,6 +65,10 @@ impl fmt::Display for MatrixError {
             MatrixError::NonFiniteValue { op } => {
                 write!(f, "non-finite value encountered in {op}")
             }
+            MatrixError::UnsortedRow { row } => write!(
+                f,
+                "row {row} has unsorted column indices (CSR rows must be sorted ascending)"
+            ),
         }
     }
 }
@@ -99,6 +110,13 @@ mod tests {
             shape: (3, 3),
         };
         assert!(e.to_string().contains("(7, 1)"));
+    }
+
+    #[test]
+    fn display_unsorted_row() {
+        let e = MatrixError::UnsortedRow { row: 5 };
+        assert!(e.to_string().contains("row 5"));
+        assert!(e.to_string().contains("unsorted"));
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Serial/parallel parity: every kernel refactored onto the shared
+//! `sigma-parallel` pool must produce **bitwise identical** results at every
+//! thread count. These properties force the global pool to 1 and 4 threads
+//! and compare `f32` bit patterns — no tolerance. Inputs are sized above
+//! `sigma_parallel::MIN_PARALLEL_WORK` so the parallel path actually runs.
+//!
+//! CI additionally runs the whole suite under `SIGMA_NUM_THREADS=1` and
+//! `SIGMA_NUM_THREADS=4`, so any thread-count-dependent result also fails
+//! the ordinary kernel tests.
+
+use proptest::prelude::*;
+use sigma_matrix::{CsrMatrix, DenseMatrix};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serialises the parity tests within this binary: they flip the global
+/// thread override, and interleaving two tests could make both measurements
+/// run at the same thread count (results would still match — determinism —
+/// but the property would stop exercising the 1-vs-4 contrast).
+fn parity_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("parity lock poisoned")
+}
+
+/// Deterministic value noise in `[-1, 1)` (splitmix-style finaliser).
+fn pseudo(i: usize, j: usize, seed: u64) -> f32 {
+    let mut h = (i as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((j as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add(seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    ((h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+}
+
+fn dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |i, j| pseudo(i, j, seed))
+}
+
+/// A sparse matrix with expected density `density` and noise values.
+fn sparse(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
+    let mut triplets = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            if (pseudo(i, j, seed ^ 0xA5A5) as f64 + 1.0) / 2.0 < density {
+                triplets.push((i, j, pseudo(i, j, seed)));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, &triplets).expect("in-bounds triplets")
+}
+
+fn assert_bitwise_eq(a: &DenseMatrix, b: &DenseMatrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (idx, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: bit mismatch at flat index {idx}: {x:?} ({:#010x}) vs {y:?} ({:#010x})",
+            x.to_bits(),
+            y.to_bits()
+        );
+    }
+}
+
+/// Runs `f` under 1 thread and under 4 threads, restoring the override, and
+/// returns both results.
+fn at_1_and_4_threads<R>(f: impl Fn() -> R) -> (R, R) {
+    sigma_parallel::set_global_threads(1);
+    let serial = f();
+    sigma_parallel::set_global_threads(4);
+    let parallel = f();
+    sigma_parallel::set_global_threads(0);
+    (serial, parallel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn spmm_parallel_is_bitwise_identical(seed in 0u64..1_000_000, f in 16usize..40) {
+        let _guard = parity_lock();
+        // ~300·300·0.05 = 4.5k nnz; × f ≥ 72k flops — well above the
+        // parallel threshold.
+        let m = sparse(300, 300, 0.05, seed);
+        let x = dense(300, f, seed ^ 1);
+        let (serial, parallel) = at_1_and_4_threads(|| m.spmm(&x).unwrap());
+        assert_bitwise_eq(&serial, &parallel, "spmm");
+    }
+
+    #[test]
+    fn spmm_transpose_parallel_is_bitwise_identical(seed in 0u64..1_000_000, f in 16usize..40) {
+        let _guard = parity_lock();
+        // Rectangular on purpose: output rows = columns of the operator.
+        let m = sparse(320, 250, 0.05, seed);
+        let x = dense(320, f, seed ^ 2);
+        let (serial, parallel) = at_1_and_4_threads(|| m.spmm_transpose(&x).unwrap());
+        assert_bitwise_eq(&serial, &parallel, "spmm_transpose");
+    }
+
+    #[test]
+    fn spmm_rows_parallel_is_bitwise_identical(seed in 0u64..1_000_000) {
+        let _guard = parity_lock();
+        let m = sparse(300, 300, 0.08, seed);
+        let x = dense(300, 32, seed ^ 3);
+        // Batch with duplicates and arbitrary order.
+        let rows: Vec<usize> = (0..600).map(|i| (i * 7 + seed as usize) % 300).collect();
+        let (serial, parallel) = at_1_and_4_threads(|| m.spmm_rows(&rows, &x).unwrap());
+        assert_bitwise_eq(&serial, &parallel, "spmm_rows");
+    }
+
+    #[test]
+    fn spgemm_parallel_is_identical(seed in 0u64..1_000_000) {
+        let _guard = parity_lock();
+        // nnz(a) + nnz(b) ≈ 2·300·300·0.2 = 36k ≥ the parallel threshold.
+        let a = sparse(300, 300, 0.2, seed);
+        let b = sparse(300, 300, 0.2, seed ^ 4);
+        let (serial, parallel) = at_1_and_4_threads(|| a.spgemm(&b).unwrap());
+        // CSR equality is structural + exact f32 values.
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn matmul_parallel_is_bitwise_identical(seed in 0u64..1_000_000, k in 32usize..64) {
+        let _guard = parity_lock();
+        let a = dense(120, k, seed);
+        let b = dense(k, 90, seed ^ 5);
+        let (serial, parallel) = at_1_and_4_threads(|| a.matmul(&b).unwrap());
+        assert_bitwise_eq(&serial, &parallel, "matmul");
+    }
+
+    #[test]
+    fn matmul_transpose_variants_are_bitwise_identical(seed in 0u64..1_000_000) {
+        let _guard = parity_lock();
+        let a = dense(200, 48, seed);
+        let b = dense(200, 56, seed ^ 6);
+        let (serial, parallel) = at_1_and_4_threads(|| a.matmul_transpose_self(&b).unwrap());
+        assert_bitwise_eq(&serial, &parallel, "matmul_transpose_self");
+
+        let c = dense(130, 48, seed ^ 7);
+        let (serial, parallel) = at_1_and_4_threads(|| a.matmul_transpose_other(&c).unwrap());
+        assert_bitwise_eq(&serial, &parallel, "matmul_transpose_other");
+    }
+}
+
+#[test]
+fn spmm_is_bitwise_stable_across_a_thread_sweep() {
+    let _guard = parity_lock();
+    let m = sparse(400, 400, 0.04, 99);
+    let x = dense(400, 24, 17);
+    sigma_parallel::set_global_threads(1);
+    let reference = m.spmm(&x).unwrap();
+    for threads in [2usize, 3, 4, 8] {
+        sigma_parallel::set_global_threads(threads);
+        let result = m.spmm(&x).unwrap();
+        assert_bitwise_eq(&reference, &result, &format!("spmm at {threads} threads"));
+    }
+    sigma_parallel::set_global_threads(0);
+}

@@ -3,6 +3,7 @@
 use crate::{xavier_uniform, NnError, Optimizer, Result};
 use rand::Rng;
 use sigma_matrix::{CsrMatrix, DenseMatrix};
+use sigma_parallel::ThreadPool;
 
 /// A dense linear layer `Y = X·W + b`.
 ///
@@ -12,6 +13,13 @@ use sigma_matrix::{CsrMatrix, DenseMatrix};
 /// sparse adjacency matrix; [`Linear::forward_sparse`] performs the same
 /// computation without densifying `A` (the paper stresses this keeps the
 /// cost at `O(m·f)`).
+///
+/// Every matrix product here (`X·W`, `A·W`, `Xᵀ·dY`, `dY·Wᵀ`) runs on the
+/// shared [`sigma_parallel::ThreadPool`] via the `sigma-matrix` kernels, and
+/// the bias broadcast is row-partitioned on the same pool — all with
+/// bitwise-deterministic results, so training is reproducible across
+/// `SIGMA_NUM_THREADS` settings. The `db` column reduction stays serial: its
+/// accumulation order would otherwise depend on the partition.
 #[derive(Debug, Clone)]
 pub struct Linear {
     weight: DenseMatrix,
@@ -166,10 +174,24 @@ impl Linear {
 
     fn add_bias(&self, out: &mut DenseMatrix) {
         let bias = self.bias.row(0).to_vec();
-        for r in 0..out.rows() {
-            for (v, b) in out.row_mut(r).iter_mut().zip(bias.iter()) {
-                *v += b;
+        let width = out.cols();
+        if width == 0 {
+            return;
+        }
+        // Row-partitioned broadcast: each output row is touched by exactly
+        // one thread, so the result matches the serial loop bitwise.
+        let broadcast = |_first_row: usize, block: &mut [f32]| {
+            for row in block.chunks_exact_mut(width) {
+                for (v, b) in row.iter_mut().zip(bias.iter()) {
+                    *v += b;
+                }
             }
+        };
+        let pool = ThreadPool::global();
+        if pool.should_parallelize(out.rows().saturating_mul(width)) {
+            pool.par_row_blocks_mut(out.as_mut_slice(), width, broadcast);
+        } else {
+            broadcast(0, out.as_mut_slice());
         }
     }
 }

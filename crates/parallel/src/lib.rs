@@ -1,0 +1,651 @@
+//! # sigma-parallel
+//!
+//! The shared execution layer of the SIGMA reproduction: one global,
+//! lazily-initialised thread pool that every hot kernel (`spmm`,
+//! `spmm_transpose`, `spgemm`, dense GEMM, LocalPush, the serving engine)
+//! dispatches onto, instead of each crate hand-rolling its own threading.
+//!
+//! ## Design
+//!
+//! * **Global pool, lazy start.** [`ThreadPool::global`] spawns workers on
+//!   first use. The pool size comes from the `SIGMA_NUM_THREADS` environment
+//!   variable, falling back to [`std::thread::available_parallelism`]; it can
+//!   be overridden at runtime with [`set_global_threads`] (used by the
+//!   `threads` knobs in `sigma::ContextBuilder` / `sigma::TrainConfig` and by
+//!   the serial-vs-parallel parity tests). Standalone pools for tests come
+//!   from [`ThreadPool::with_threads`].
+//! * **Scoped execution, hand-rolled.** There is no registry access in this
+//!   build environment, so no `rayon`: work is pushed as boxed closures onto
+//!   a chunked queue and joined with a `std::thread::scope`-style latch. The
+//!   submitting thread *participates* (it executes queued work while
+//!   waiting), which both uses the extra core and makes nested submissions
+//!   deadlock-free.
+//! * **Determinism.** The primitives partition *disjoint output-row ranges*,
+//!   so every output element is written by exactly one task using the same
+//!   sequential accumulation order as the serial loop. Kernel results are
+//!   therefore **bitwise identical** for every thread count — enforced by
+//!   the parity tests in `crates/matrix/tests` and `crates/simrank/tests`,
+//!   and by CI running the whole suite under `SIGMA_NUM_THREADS=1` and `=4`.
+//! * **Panic propagation.** A panic inside a task is caught, the scope still
+//!   joins every sibling task, and the payload is re-raised on the
+//!   submitting thread. Workers survive panics.
+//!
+//! ## Example
+//!
+//! ```
+//! use sigma_parallel::ThreadPool;
+//!
+//! let mut data = vec![0u64; 1000];
+//! // Each block of rows is owned by exactly one task.
+//! ThreadPool::global().par_row_blocks_mut(&mut data, 10, |first_row, block| {
+//!     for (i, row) in block.chunks_mut(10).enumerate() {
+//!         row.iter_mut().for_each(|v| *v = (first_row + i) as u64);
+//!     }
+//! });
+//! assert_eq!(data[995], 99);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Work (in inner-loop operations, e.g. FLOPs) below which parallel dispatch
+/// is not worth the queueing overhead and kernels should stay serial.
+pub const MIN_PARALLEL_WORK: usize = 32_768;
+
+/// Upper bound on configurable thread counts (safety valve for absurd
+/// `SIGMA_NUM_THREADS` values).
+pub const MAX_THREADS: usize = 256;
+
+/// Runtime override installed by [`set_global_threads`] (0 = unset).
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `SIGMA_NUM_THREADS`, read once at first use.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+static GLOBAL_POOL: OnceLock<ThreadPool> = OnceLock::new();
+
+fn env_threads() -> Option<usize> {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("SIGMA_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The thread count the global pool currently targets: the
+/// [`set_global_threads`] override if set, else `SIGMA_NUM_THREADS`, else
+/// [`std::thread::available_parallelism`]. Always at least 1, at most
+/// [`MAX_THREADS`].
+pub fn current_threads() -> usize {
+    let override_n = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    let n = if override_n > 0 {
+        override_n
+    } else if let Some(n) = env_threads() {
+        n
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    n.clamp(1, MAX_THREADS)
+}
+
+/// Overrides the global pool's thread count at runtime. `n = 0` clears the
+/// override (falling back to `SIGMA_NUM_THREADS` / the core count); other
+/// values are clamped to `[1, MAX_THREADS]`.
+///
+/// Raising the count after the pool has started spawns additional workers on
+/// demand; lowering it leaves the extra workers idle. Because every kernel's
+/// partitioning is deterministic in its *output* (not in the thread count),
+/// changing this mid-flight never changes results, only throughput.
+pub fn set_global_threads(n: usize) {
+    let value = if n == 0 { 0 } else { n.clamp(1, MAX_THREADS) };
+    GLOBAL_OVERRIDE.store(value, Ordering::Relaxed);
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    spawned_workers: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<QueueState>,
+    job_ready: Condvar,
+}
+
+/// Join latch for one scoped submission: counts outstanding tasks and holds
+/// the first panic payload, re-raised by the submitter once all siblings
+/// have finished.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("latch lock poisoned") == 0
+    }
+
+    fn wait_briefly(&self) {
+        let remaining = self.remaining.lock().expect("latch lock poisoned");
+        if *remaining > 0 {
+            // Timed wait: a sibling may finish between our queue poll and
+            // this wait, and tasks stolen by other scopes' submitters do not
+            // notify us; the timeout bounds that race instead of a missed
+            // wake-up hanging the scope.
+            let _ = self
+                .done
+                .wait_timeout(remaining, Duration::from_micros(500))
+                .expect("latch lock poisoned");
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("latch panic lock poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().expect("latch panic lock poisoned").take()
+    }
+}
+
+/// A chunked-work-queue thread pool with scoped joins.
+///
+/// Use [`ThreadPool::global`] everywhere except tests that need an isolated
+/// pool ([`ThreadPool::with_threads`]). All `par_*` primitives partition
+/// disjoint output ranges, preserving the serial accumulation order per
+/// output element, so results are bitwise identical at every thread count.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    /// Fixed size for standalone pools; `None` = track [`current_threads`].
+    fixed_threads: Option<usize>,
+    /// Join handles of standalone pools (the global pool's workers are
+    /// detached: it lives for the whole process).
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.num_threads())
+            .field("fixed", &self.fixed_threads.is_some())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// The process-wide shared pool, started lazily on first use.
+    pub fn global() -> &'static ThreadPool {
+        GLOBAL_POOL.get_or_init(|| ThreadPool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(QueueState {
+                    jobs: VecDeque::new(),
+                    spawned_workers: 0,
+                    shutdown: false,
+                }),
+                job_ready: Condvar::new(),
+            }),
+            fixed_threads: None,
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// A standalone pool with a fixed thread count (workers are joined on
+    /// drop). Intended for tests; production code should share
+    /// [`ThreadPool::global`].
+    pub fn with_threads(n: usize) -> ThreadPool {
+        ThreadPool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(QueueState {
+                    jobs: VecDeque::new(),
+                    spawned_workers: 0,
+                    shutdown: false,
+                }),
+                job_ready: Condvar::new(),
+            }),
+            fixed_threads: Some(n.clamp(1, MAX_THREADS)),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The thread count this pool currently targets (submitting thread
+    /// included).
+    pub fn num_threads(&self) -> usize {
+        self.fixed_threads.unwrap_or_else(current_threads)
+    }
+
+    /// Whether a kernel with `work` inner-loop operations should bother
+    /// splitting: requires more than one thread and enough work to amortise
+    /// dispatch (see [`MIN_PARALLEL_WORK`]).
+    pub fn should_parallelize(&self, work: usize) -> bool {
+        self.num_threads() > 1 && work >= MIN_PARALLEL_WORK
+    }
+
+    /// Partitions `0..n` into at most [`ThreadPool::num_threads`] contiguous,
+    /// near-equal ranges (fewer when `n` is small; empty when `n == 0`).
+    pub fn split_ranges(&self, n: usize) -> Vec<Range<usize>> {
+        split_into(n, self.num_threads())
+    }
+
+    /// Runs a set of scoped tasks to completion.
+    ///
+    /// Tasks may borrow from the caller's stack: the call does not return
+    /// until every task has finished (or the first panic has been joined and
+    /// re-raised). The submitting thread executes queued work while it
+    /// waits, so nested `run` calls from inside a task cannot deadlock.
+    pub fn run<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        match tasks.len() {
+            0 => return,
+            1 => {
+                // Single task: run inline, no queue round-trip.
+                for task in tasks {
+                    task();
+                }
+                return;
+            }
+            _ => {}
+        }
+        if self.num_threads() == 1 {
+            // Serial pool: preserve submission order exactly.
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+
+        let latch = Arc::new(Latch::new(tasks.len()));
+        self.ensure_workers(self.num_threads().saturating_sub(1).min(tasks.len() - 1));
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            for task in tasks {
+                let latch = Arc::clone(&latch);
+                let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                        latch.record_panic(payload);
+                    }
+                    latch.complete_one();
+                });
+                // SAFETY: `run` blocks on the latch until every task has
+                // executed (workers decrement even on panic), so the `'scope`
+                // borrows captured by the task strictly outlive its
+                // execution. This is the standard scoped-pool erasure; only
+                // the lifetime is transmuted, the layout is identical.
+                let job: Job = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + 'scope>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(wrapped)
+                };
+                queue.jobs.push_back(job);
+            }
+            self.shared.job_ready.notify_all();
+        }
+        // Help-first join: keep executing queued work (ours or a nested
+        // scope's) until our own latch opens.
+        while !latch.is_done() {
+            let job = {
+                let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+                queue.jobs.pop_front()
+            };
+            match job {
+                Some(job) => job(),
+                None => latch.wait_briefly(),
+            }
+        }
+        if let Some(payload) = latch.take_panic() {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Splits row-major `data` (`data.len() / width` rows of `width`
+    /// elements) into at most [`ThreadPool::num_threads`] contiguous row
+    /// blocks and runs `f(first_row, block)` on each in parallel.
+    ///
+    /// Each output row is owned by exactly one call, so any `f` that fills
+    /// its block with a per-row computation produces bitwise-identical
+    /// results at every thread count. With one thread (or one block) this is
+    /// exactly `f(0, data)`.
+    pub fn par_row_blocks_mut<T, F>(&self, data: &mut [T], width: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        if width == 0 {
+            f(0, data);
+            return;
+        }
+        let rows = data.len() / width;
+        let blocks = self.num_threads().min(rows.max(1));
+        if blocks <= 1 {
+            f(0, data);
+            return;
+        }
+        let rows_per_block = rows.div_ceil(blocks);
+        let chunk_len = rows_per_block * width;
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(i, block)| {
+                Box::new(move || f(i * rows_per_block, block)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.run(tasks);
+    }
+
+    /// Partitions `0..n` into contiguous ranges (one per thread) and maps
+    /// each through `f`, returning results in range order.
+    ///
+    /// The number of ranges adapts to the thread count, so only use this
+    /// when per-range results are position-independent (e.g. disjoint output
+    /// rows); for order-sensitive reductions use [`ThreadPool::par_map_chunks`]
+    /// with a fixed chunk size.
+    pub fn par_map_ranges<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let ranges = self.split_ranges(n);
+        if ranges.len() <= 1 {
+            return ranges.into_iter().map(&f).collect();
+        }
+        let mut slots: Vec<Option<R>> = ranges.iter().map(|_| None).collect();
+        {
+            let f = &f;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+                .into_iter()
+                .zip(slots.iter_mut())
+                .map(|(range, slot)| {
+                    Box::new(move || *slot = Some(f(range))) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.run(tasks);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every range task ran to completion"))
+            .collect()
+    }
+
+    /// Maps fixed-size chunks of `items` through `f` in parallel, returning
+    /// results in chunk order.
+    ///
+    /// The chunk boundaries depend only on `chunk_len` and `items.len()` —
+    /// **not** on the thread count — so a caller that merges the results in
+    /// chunk order gets bitwise-identical output at every thread count. This
+    /// is the primitive behind the deterministic parallel LocalPush.
+    pub fn par_map_chunks<T, R, F>(&self, items: &[T], chunk_len: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        if items.len() <= chunk_len || self.num_threads() == 1 {
+            return items
+                .chunks(chunk_len)
+                .enumerate()
+                .map(|(i, c)| f(i, c))
+                .collect();
+        }
+        let num_chunks = items.len().div_ceil(chunk_len);
+        let mut slots: Vec<Option<R>> = (0..num_chunks).map(|_| None).collect();
+        {
+            let f = &f;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
+                .chunks(chunk_len)
+                .zip(slots.iter_mut())
+                .enumerate()
+                .map(|(i, (chunk, slot))| {
+                    Box::new(move || *slot = Some(f(i, chunk))) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.run(tasks);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every chunk task ran to completion"))
+            .collect()
+    }
+
+    /// Spawns workers until at least `target` are alive (capped by
+    /// [`MAX_THREADS`]).
+    fn ensure_workers(&self, target: usize) {
+        let target = target.min(MAX_THREADS);
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        while queue.spawned_workers < target {
+            let shared = Arc::clone(&self.shared);
+            let index = queue.spawned_workers;
+            let handle = std::thread::Builder::new()
+                .name(format!("sigma-parallel-{index}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawning a sigma-parallel worker thread");
+            queue.spawned_workers += 1;
+            if self.fixed_threads.is_some() {
+                self.handles
+                    .lock()
+                    .expect("pool handle list poisoned")
+                    .push(handle);
+            }
+            // The global pool's workers are intentionally detached: the pool
+            // lives until process exit.
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Only standalone pools are ever dropped (the global pool lives in a
+        // `OnceLock` static). Tell workers to exit once the queue drains.
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for handle in self
+            .handles
+            .lock()
+            .expect("pool handle list poisoned")
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.shutdown {
+                    break None;
+                }
+                queue = shared
+                    .job_ready
+                    .wait(queue)
+                    .expect("pool queue poisoned while waiting");
+            }
+        };
+        match job {
+            // Jobs are panic-wrapped at submission, so this cannot unwind.
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous, near-equal ranges.
+fn split_into(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let per = n.div_ceil(parts);
+    (0..parts)
+        .map(|i| (i * per).min(n)..((i + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 17, 100] {
+            for parts in [1usize, 2, 4, 7] {
+                let ranges = split_into(n, parts);
+                let mut covered = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "ranges must be contiguous");
+                    assert!(r.end > r.start);
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_row_blocks_write_disjoint_rows() {
+        let pool = ThreadPool::with_threads(4);
+        let (rows, width) = (103usize, 7usize);
+        let mut data = vec![0u32; rows * width];
+        pool.par_row_blocks_mut(&mut data, width, |first_row, block| {
+            for (i, row) in block.chunks_mut(width).enumerate() {
+                let r = first_row + i;
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (r * width + j) as u32;
+                }
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v as usize, i);
+        }
+    }
+
+    #[test]
+    fn par_map_ranges_preserves_order() {
+        let pool = ThreadPool::with_threads(3);
+        let sums = pool.par_map_ranges(1000, |r| r.clone().sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), (0..1000).sum::<usize>());
+        // Single-thread pool produces the same partition results serially.
+        let serial = ThreadPool::with_threads(1).par_map_ranges(1000, |r| r.sum::<usize>());
+        assert_eq!(serial.iter().sum::<usize>(), (0..1000).sum::<usize>());
+    }
+
+    #[test]
+    fn par_map_chunks_is_thread_count_independent() {
+        let items: Vec<u64> = (0..997).collect();
+        let f = |i: usize, chunk: &[u64]| (i, chunk.iter().sum::<u64>());
+        let a = ThreadPool::with_threads(1).par_map_chunks(&items, 64, f);
+        let b = ThreadPool::with_threads(4).par_map_chunks(&items, 64, f);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 997usize.div_ceil(64));
+    }
+
+    #[test]
+    fn panics_propagate_after_join() {
+        let pool = ThreadPool::with_threads(2);
+        let hits = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                .map(|i| {
+                    let hits = &hits;
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("task failure");
+                        }
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(tasks);
+        }));
+        assert!(result.is_err(), "the task panic must be re-raised");
+        // Every sibling still ran: the scope joins before unwinding.
+        assert_eq!(hits.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn nested_runs_do_not_deadlock() {
+        let pool = ThreadPool::with_threads(2);
+        let total = AtomicUsize::new(0);
+        let outer: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                let total = &total;
+                let pool = &pool;
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                        .map(|_| {
+                            Box::new(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool.run(inner);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(outer);
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn global_override_clamps_and_clears() {
+        set_global_threads(usize::MAX);
+        assert_eq!(current_threads(), MAX_THREADS);
+        set_global_threads(3);
+        assert_eq!(current_threads(), 3);
+        set_global_threads(0);
+        assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn should_parallelize_respects_threshold() {
+        let pool = ThreadPool::with_threads(4);
+        assert!(!pool.should_parallelize(10));
+        assert!(pool.should_parallelize(MIN_PARALLEL_WORK));
+        let serial = ThreadPool::with_threads(1);
+        assert!(!serial.should_parallelize(usize::MAX));
+    }
+}

@@ -7,25 +7,30 @@
 //! `CsrMatrix::spmm_rows` and blends them with the local embedding
 //! (`Z_u = (1−α)·(S·H)_u + α·H_u`, paper Eq. 5–6) — no full-graph SpMM, no
 //! MLP re-execution. Aggregated rows `Ẑ_u` are memoised in a bounded LRU
-//! cache, and a small worker thread pool serves concurrent batches.
+//! cache, and large batches are chunked across the shared thread pool.
 //!
 //! The engine also consumes `sigma_simrank::dynamic` edge updates: edits
 //! invalidate exactly the cached rows whose operator entries can change
 //! (endpoints, their neighbours, and every row referencing them), and a
 //! refreshed operator from [`sigma_simrank::DynamicSimRank`] can be swapped
 //! in without rebuilding the engine.
+//!
+//! Concurrency comes from the process-wide [`sigma_parallel::ThreadPool`]
+//! shared with the training kernels — the engine no longer owns threads of
+//! its own. Large batches are chunked and fanned out as scoped tasks; the
+//! [`EngineConfig::workers`] knob bounds how many chunks run concurrently
+//! and is validated against the shared pool's size at construction.
 
 use crate::cache::LruCache;
 use crate::forward::compute_embeddings;
 use crate::snapshot::ServeSnapshot;
 use crate::{Result, ServeError};
 use sigma_matrix::{CsrMatrix, DenseMatrix};
+use sigma_parallel::ThreadPool;
 use sigma_simrank::{DynamicSimRank, EdgeUpdate};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
-use std::thread::JoinHandle;
 
 /// Tuning knobs of the [`InferenceEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -33,11 +38,13 @@ pub struct EngineConfig {
     /// Maximum number of aggregated rows (`Ẑ_u`) kept in the LRU cache
     /// (0 disables caching).
     pub cache_capacity: usize,
-    /// Worker threads serving queries (0 serves every query on the caller's
-    /// thread).
+    /// Maximum batch chunks served concurrently on the shared
+    /// [`sigma_parallel::ThreadPool`]. `0` means *auto*: use the pool's full
+    /// capacity. Explicit values are validated against the pool size at
+    /// engine construction ([`ServeError::WorkerConfig`]).
     pub workers: usize,
     /// Batches larger than this are split into chunks of at most this many
-    /// nodes and fanned out across the worker pool.
+    /// nodes and fanned out across the shared pool. Must be non-zero.
     pub max_chunk: usize,
 }
 
@@ -45,8 +52,53 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             cache_capacity: 4096,
-            workers: 2,
+            workers: 0,
             max_chunk: 256,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration against the shared pool's current size.
+    ///
+    /// Rejects zero-capacity setups — `max_chunk == 0` (chunks could hold no
+    /// nodes) and `workers` exceeding the shared pool (the extra workers
+    /// could never run concurrently, silently degrading to less parallelism
+    /// than requested) — with a typed [`ServeError::WorkerConfig`] instead
+    /// of silently serving inline.
+    ///
+    /// The check is point-in-time: the global pool can be resized later
+    /// (e.g. by `sigma_parallel::set_global_threads`), in which case
+    /// [`EngineConfig::effective_workers`] clamps to the width available at
+    /// serve time — safe either way, since results are identical at any
+    /// width.
+    pub fn validate(&self, pool: &ThreadPool) -> Result<()> {
+        let pool_threads = pool.num_threads();
+        if self.max_chunk == 0 {
+            return Err(ServeError::WorkerConfig {
+                workers: self.workers,
+                pool_threads,
+                reason: "max_chunk must be non-zero (a zero-capacity chunk can serve no nodes)",
+            });
+        }
+        if self.workers > pool_threads {
+            return Err(ServeError::WorkerConfig {
+                workers: self.workers,
+                pool_threads,
+                reason: "workers exceed the shared pool size (set SIGMA_NUM_THREADS or \
+                         sigma_parallel::set_global_threads, or lower workers; 0 = auto)",
+            });
+        }
+        Ok(())
+    }
+
+    /// The concurrent-chunk bound actually used at serve time: the explicit
+    /// `workers` value, or the shared pool's capacity when `workers == 0`.
+    pub fn effective_workers(&self, pool: &ThreadPool) -> usize {
+        if self.workers == 0 {
+            pool.num_threads()
+        } else {
+            self.workers.min(pool.num_threads())
         }
     }
 }
@@ -142,20 +194,10 @@ struct Shared {
     stats: AtomicStats,
 }
 
-enum Job {
-    Batch {
-        chunk_index: usize,
-        nodes: Vec<usize>,
-        reply: Sender<(usize, Result<Vec<Prediction>>)>,
-    },
-}
-
 /// Online node-classification server for a snapshotted SIGMA model.
 pub struct InferenceEngine {
     shared: Arc<Shared>,
     config: EngineConfig,
-    job_tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for InferenceEngine {
@@ -164,15 +206,19 @@ impl std::fmt::Debug for InferenceEngine {
             .field("num_nodes", &self.num_nodes())
             .field("num_classes", &self.num_classes())
             .field("config", &self.config)
-            .field("workers", &self.workers.len())
+            .field(
+                "workers",
+                &self.config.effective_workers(ThreadPool::global()),
+            )
             .finish()
     }
 }
 
 impl InferenceEngine {
-    /// Builds an engine from a snapshot: runs the encoder once over the full
-    /// graph, installs the operator, and spawns the worker pool.
+    /// Builds an engine from a snapshot: validates the configuration against
+    /// the shared thread pool and runs the encoder once over the full graph.
     pub fn new(snapshot: &ServeSnapshot, config: EngineConfig) -> Result<Self> {
+        config.validate(ThreadPool::global())?;
         snapshot.model.validate()?;
         let embeddings =
             compute_embeddings(&snapshot.model, &snapshot.features, &snapshot.adjacency)?;
@@ -187,31 +233,7 @@ impl InferenceEngine {
             epoch: AtomicU64::new(0),
             stats: AtomicStats::default(),
         });
-
-        let (job_tx, workers) = if config.workers > 0 {
-            let (tx, rx) = channel::<Job>();
-            let rx = Arc::new(Mutex::new(rx));
-            let workers = (0..config.workers)
-                .map(|i| {
-                    let shared = Arc::clone(&shared);
-                    let rx = Arc::clone(&rx);
-                    std::thread::Builder::new()
-                        .name(format!("sigma-serve-{i}"))
-                        .spawn(move || worker_loop(shared, rx))
-                        .expect("spawning a serving worker thread")
-                })
-                .collect();
-            (Some(tx), workers)
-        } else {
-            (None, Vec::new())
-        };
-
-        Ok(Self {
-            shared,
-            config,
-            job_tx,
-            workers,
-        })
+        Ok(Self { shared, config })
     }
 
     /// Number of nodes the engine serves.
@@ -237,39 +259,43 @@ impl InferenceEngine {
 
     /// Serves a batch of nodes, preserving query order.
     ///
-    /// Large batches are split into chunks and executed concurrently on the
-    /// worker pool; small batches (or `workers = 0` configurations) are
-    /// served inline on the caller's thread.
+    /// Batches larger than [`EngineConfig::max_chunk`] are split into chunks
+    /// and fanned out as scoped tasks on the shared
+    /// [`sigma_parallel::ThreadPool`], at most
+    /// [`EngineConfig::effective_workers`] chunks in flight; smaller batches
+    /// are served on the caller's thread.
     pub fn predict_batch(&self, nodes: &[usize]) -> Result<Vec<Prediction>> {
-        match &self.job_tx {
-            Some(tx) if nodes.len() > self.config.max_chunk.max(1) => {
-                let chunk_size = self.config.max_chunk.max(1);
-                let (reply_tx, reply_rx) = channel::<(usize, Result<Vec<Prediction>>)>();
-                let mut num_chunks = 0usize;
-                for (chunk_index, chunk) in nodes.chunks(chunk_size).enumerate() {
-                    tx.send(Job::Batch {
-                        chunk_index,
-                        nodes: chunk.to_vec(),
-                        reply: reply_tx.clone(),
-                    })
-                    .map_err(|_| ServeError::EngineShutDown)?;
-                    num_chunks += 1;
-                }
-                drop(reply_tx);
-                let mut chunks: Vec<Option<Vec<Prediction>>> = vec![None; num_chunks];
-                for _ in 0..num_chunks {
-                    let (chunk_index, result) =
-                        reply_rx.recv().map_err(|_| ServeError::EngineShutDown)?;
-                    chunks[chunk_index] = Some(result?);
-                }
-                let mut out = Vec::with_capacity(nodes.len());
-                for chunk in chunks {
-                    out.extend(chunk.expect("every chunk index replied exactly once"));
-                }
-                Ok(out)
-            }
-            _ => serve_batch(&self.shared, nodes),
+        let pool = ThreadPool::global();
+        let concurrency = self.config.effective_workers(pool);
+        if nodes.len() <= self.config.max_chunk || concurrency <= 1 {
+            return serve_batch(&self.shared, nodes);
         }
+        let chunks: Vec<&[usize]> = nodes.chunks(self.config.max_chunk).collect();
+        let mut results: Vec<Option<Result<Vec<Prediction>>>> =
+            (0..chunks.len()).map(|_| None).collect();
+        // Group the chunks into at most `concurrency` scoped tasks; each
+        // task serves its chunks sequentially, writing into disjoint slots.
+        let per_group = chunks.len().div_ceil(concurrency.min(chunks.len()));
+        {
+            let shared = &self.shared;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .chunks(per_group)
+                .zip(results.chunks_mut(per_group))
+                .map(|(chunk_group, slot_group)| {
+                    Box::new(move || {
+                        for (chunk, slot) in chunk_group.iter().zip(slot_group.iter_mut()) {
+                            *slot = Some(serve_batch(shared, chunk));
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(tasks);
+        }
+        let mut out = Vec::with_capacity(nodes.len());
+        for slot in results {
+            out.extend(slot.expect("every chunk task ran to completion")?);
+        }
+        Ok(out)
     }
 
     /// Applies a stream of edge updates to the staleness tracker.
@@ -425,37 +451,6 @@ impl InferenceEngine {
             .rows_invalidated
             .fetch_add(invalidated as u64, Ordering::Relaxed);
         invalidated
-    }
-}
-
-impl Drop for InferenceEngine {
-    fn drop(&mut self) {
-        // Close the job channel so workers observe disconnection and exit.
-        self.job_tx = None;
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>) {
-    loop {
-        let job = {
-            let guard = rx.lock().expect("job queue lock poisoned");
-            guard.recv()
-        };
-        match job {
-            Ok(Job::Batch {
-                chunk_index,
-                nodes,
-                reply,
-            }) => {
-                let result = serve_batch(&shared, &nodes);
-                // A dropped reply receiver just means the caller gave up.
-                let _ = reply.send((chunk_index, result));
-            }
-            Err(_) => return, // Engine dropped: channel closed.
-        }
     }
 }
 

@@ -32,8 +32,18 @@ pub enum ServeError {
         /// Expected square dimension (the node count).
         expected: usize,
     },
-    /// The worker pool shut down while a query was in flight.
-    EngineShutDown,
+    /// The engine configuration requests concurrency the shared
+    /// [`sigma_parallel::ThreadPool`] cannot provide (a zero-capacity
+    /// misconfiguration), e.g. more `workers` than pool threads or a zero
+    /// `max_chunk`.
+    WorkerConfig {
+        /// The configured worker bound (`0` = auto).
+        workers: usize,
+        /// The shared pool's thread count at validation time.
+        pool_threads: usize,
+        /// What exactly is wrong and how to fix it.
+        reason: &'static str,
+    },
     /// An underlying model-layer error.
     Model(sigma::SigmaError),
     /// An underlying matrix error.
@@ -60,7 +70,15 @@ impl fmt::Display for ServeError {
                 f,
                 "replacement operator shape {got:?} does not match the served graph of {expected} nodes"
             ),
-            ServeError::EngineShutDown => write!(f, "inference engine worker pool has shut down"),
+            ServeError::WorkerConfig {
+                workers,
+                pool_threads,
+                reason,
+            } => write!(
+                f,
+                "invalid worker configuration ({workers} workers against a shared pool of \
+                 {pool_threads} threads): {reason}"
+            ),
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Matrix(e) => write!(f, "matrix error: {e}"),
             ServeError::Nn(e) => write!(f, "nn error: {e}"),
@@ -137,7 +155,13 @@ mod tests {
             expected: 7,
         };
         assert!(e.to_string().contains('7'));
-        assert!(ServeError::EngineShutDown.to_string().contains("shut down"));
+        let e = ServeError::WorkerConfig {
+            workers: 9,
+            pool_threads: 4,
+            reason: "workers exceed the shared pool size",
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains("exceed"));
         let e: ServeError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(std::error::Error::source(&e).is_some());
     }

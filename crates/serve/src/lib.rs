@@ -18,8 +18,8 @@
 //! * [`ServeSnapshot`] — a versioned, self-contained binary artifact
 //!   (weights + operator + serving inputs) with typed load-time validation,
 //! * [`InferenceEngine`] — single and batched queries planned through a
-//!   bounded LRU cache of aggregated rows and served by a worker thread
-//!   pool,
+//!   bounded LRU cache of aggregated rows, fanned out across the shared
+//!   [`sigma_parallel::ThreadPool`] (no engine-private threads),
 //! * a staleness hook consuming [`sigma_simrank::EdgeUpdate`] streams and
 //!   [`sigma_simrank::DynamicSimRank`] refreshes, so an evolving graph
 //!   invalidates exactly the affected cached rows.

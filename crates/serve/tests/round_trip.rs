@@ -154,6 +154,9 @@ fn single_and_batched_queries_agree_and_hit_the_cache() {
 
 #[test]
 fn worker_pool_serves_large_batches_in_order() {
+    // Explicit worker counts are validated against the shared pool, so make
+    // sure the pool is at least as wide as the workers we request.
+    sigma_parallel::set_global_threads(4);
     let fixture = trained_fixture(17);
     let n = fixture.snapshot.num_nodes();
     let engine = InferenceEngine::new(
@@ -182,10 +185,15 @@ fn worker_pool_serves_large_batches_in_order() {
         engine.stats().batches_served >= 2,
         "chunks served independently"
     );
+    // Restore the SIGMA_NUM_THREADS-derived width for the rest of the
+    // binary (kernel results are identical either way — determinism — but
+    // the CI serial leg should stay serial outside this test).
+    sigma_parallel::set_global_threads(0);
 }
 
 #[test]
 fn concurrent_callers_share_one_engine() {
+    sigma_parallel::set_global_threads(4);
     let fixture = trained_fixture(19);
     let n = fixture.snapshot.num_nodes();
     let engine = std::sync::Arc::new(
@@ -222,6 +230,45 @@ fn concurrent_callers_share_one_engine() {
         handle.join().unwrap();
     }
     assert_eq!(engine.stats().nodes_served as usize, 4 * 5 * n);
+    sigma_parallel::set_global_threads(0);
+}
+
+#[test]
+fn zero_capacity_engine_configs_are_rejected() {
+    // Standalone fixed-size pools make these assertions independent of the
+    // global thread override (which other tests in this binary may change).
+    let pool = sigma_parallel::ThreadPool::with_threads(2);
+    // A zero max_chunk can serve no nodes per chunk.
+    assert!(matches!(
+        EngineConfig {
+            cache_capacity: 4,
+            workers: 1,
+            max_chunk: 0,
+        }
+        .validate(&pool),
+        Err(ServeError::WorkerConfig { .. })
+    ));
+    // More workers than the pool could ever run concurrently.
+    let too_many = EngineConfig {
+        cache_capacity: 4,
+        workers: usize::MAX,
+        max_chunk: 8,
+    };
+    assert!(matches!(
+        too_many.validate(&pool),
+        Err(ServeError::WorkerConfig { .. })
+    ));
+    // The default (auto workers) is valid against any pool size and clamps
+    // to the pool's capacity.
+    assert!(EngineConfig::default().validate(&pool).is_ok());
+    assert_eq!(EngineConfig::default().effective_workers(&pool), 2);
+    assert_eq!(too_many.effective_workers(&pool), 2);
+    // The engine constructor applies the same validation up front, against
+    // the global pool: usize::MAX workers exceed any pool (capped at
+    // MAX_THREADS), so this errors under every thread configuration.
+    let fixture = trained_fixture(29);
+    let err = InferenceEngine::new(&fixture.snapshot, too_many).unwrap_err();
+    assert!(err.to_string().contains("shared pool"));
 }
 
 #[test]

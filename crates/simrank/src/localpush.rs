@@ -35,12 +35,26 @@
 //!
 //! Finally the scores can be materialised as a row-wise top-k
 //! [`CsrMatrix`] — the constant aggregation operator SIGMA trains with.
+//!
+//! ## Parallel execution
+//!
+//! The push process is scheduled in *rounds*: every pair whose residual
+//! exceeds the threshold forms the round's frontier, the frontier is cut
+//! into fixed-size chunks, and each chunk is pushed independently on the
+//! shared [`sigma_parallel::ThreadPool`] with a chunk-local residual-delta
+//! buffer. The buffers are merged into the global residual in chunk order.
+//! Because the chunk boundaries and the merge order depend only on the
+//! frontier — never on the thread count — the resulting scores are **bitwise
+//! identical** for every `SIGMA_NUM_THREADS` setting (enforced by
+//! `crates/simrank/tests/parallel_parity.rs`). Any round schedule is a valid
+//! LocalPush schedule, so Lemma III.5's work and `‖Ŝ − S‖_max < ε` error
+//! bounds carry over unchanged.
 
 use crate::fxhash::{pair_key, FxHashMap};
 use crate::{Result, SimRankConfig};
 use sigma_graph::Graph;
 use sigma_matrix::CsrMatrix;
-use std::collections::VecDeque;
+use sigma_parallel::ThreadPool;
 
 /// Sparse, symmetric similarity scores produced by [`LocalPush`].
 #[derive(Debug, Clone)]
@@ -151,6 +165,56 @@ impl SparseScores {
     }
 }
 
+/// Frontier pairs per parallel work unit. The chunk boundaries are a pure
+/// function of the frontier (never of the thread count), which is what makes
+/// the parallel schedule bitwise deterministic; the value trades dispatch
+/// overhead against load balance.
+const PUSH_CHUNK: usize = 128;
+
+/// One chunk's contribution to a push round: the pairs whose residual was
+/// absorbed (in chunk order) and the residual deltas they generated.
+struct ChunkOutput {
+    absorbed: Vec<(u64, f32)>,
+    delta: FxHashMap<u64, f32>,
+}
+
+/// Pushes one frontier chunk against the round's immutable residual map.
+///
+/// All mutation is confined to the returned buffers, so chunks run in
+/// parallel; [`LocalPush::run`] merges them in chunk order.
+fn push_chunk(
+    graph: &Graph,
+    inv_deg: &[f32],
+    residual: &FxHashMap<u64, f32>,
+    chunk: &[u64],
+    c: f32,
+    threshold: f32,
+) -> ChunkOutput {
+    let mut absorbed = Vec::with_capacity(chunk.len());
+    let mut delta: FxHashMap<u64, f32> = FxHashMap::default();
+    for &key in chunk {
+        let r = match residual.get(&key) {
+            Some(&r) if r > threshold => r,
+            _ => continue,
+        };
+        absorbed.push((key, r));
+        let (a, b) = crate::fxhash::unpack_pair(key);
+        let push_base = c * r;
+        for &x in graph.neighbors(a as usize) {
+            let scale_x = push_base * inv_deg[x as usize];
+            for &y in graph.neighbors(b as usize) {
+                if x == y {
+                    // Diagonal pairs are pinned to 1 in the exact recursion
+                    // and never accumulate residual.
+                    continue;
+                }
+                *delta.entry(pair_key(x, y)).or_insert(0.0) += scale_x * inv_deg[y as usize];
+            }
+        }
+    }
+    ChunkOutput { absorbed, delta }
+}
+
 /// The LocalPush solver (paper Algorithm 1).
 #[derive(Debug)]
 pub struct LocalPush {
@@ -188,10 +252,12 @@ impl LocalPush {
     /// Runs the push process and returns the pruned approximate scores.
     ///
     /// The push threshold is the paper's `(1−c)·ε`, so the Lemma III.5 work
-    /// bound `O(d²/(c(1−c)²ε))` applies unchanged. After the push loop all
-    /// remaining sub-threshold residual mass is swept into `Ŝ` (see the
-    /// module docs), which keeps the top-k structure resolvable on dense
-    /// graphs while only reducing the approximation error.
+    /// bound `O(d²/(c(1−c)²ε))` applies unchanged. Pushes are executed in
+    /// deterministic frontier rounds chunked across the shared thread pool
+    /// (see the module docs); results are bitwise identical for every thread
+    /// count. After the push loop all remaining sub-threshold residual mass
+    /// is swept into `Ŝ`, which keeps the top-k structure resolvable on
+    /// dense graphs while only reducing the approximation error.
     pub fn run(&mut self) -> SparseScores {
         let n = self.graph.num_nodes();
         let c = self.config.decay as f32;
@@ -209,47 +275,66 @@ impl LocalPush {
                 }
             })
             .collect();
-        // Residuals keyed by the packed pair id; the queue stores the same
-        // packed keys. The Fx hash keeps the probe cost to a couple of ALU
-        // operations, which dominates the push loop on dense graphs.
+        // Residuals keyed by the packed pair id. The Fx hash keeps the probe
+        // cost to a couple of ALU operations, which dominates the push loop
+        // on dense graphs.
         let mut residual: FxHashMap<u64, f32> = FxHashMap::default();
         residual.reserve(n * 4);
-        let mut queue: VecDeque<u64> = VecDeque::with_capacity(n);
-        for u in 0..n as u32 {
-            residual.insert(pair_key(u, u), 1.0);
-            queue.push_back(pair_key(u, u));
+        let mut frontier: Vec<u64> = (0..n as u32).map(|u| pair_key(u, u)).collect();
+        for &key in &frontier {
+            residual.insert(key, 1.0);
         }
         self.pushes_performed = 0;
+        let pool = ThreadPool::global();
 
-        while let Some(key) = queue.pop_front() {
-            let r = match residual.get_mut(&key) {
-                Some(r) if *r > threshold => std::mem::replace(r, 0.0),
-                _ => continue,
-            };
-            self.pushes_performed += 1;
-            if self.pushes_performed > self.max_pushes {
+        while !frontier.is_empty() {
+            let remaining = self.max_pushes.saturating_sub(self.pushes_performed);
+            if remaining == 0 {
                 break;
             }
-            let (a, b) = crate::fxhash::unpack_pair(key);
-            scores.add(a, b, r);
-            let push_base = c * r;
-            for &x in self.graph.neighbors(a as usize) {
-                let scale_x = push_base * inv_deg[x as usize];
-                for &y in self.graph.neighbors(b as usize) {
-                    if x == y {
-                        // Diagonal pairs are pinned to 1 in the exact
-                        // recursion and never accumulate residual.
-                        continue;
-                    }
-                    let delta = scale_x * inv_deg[y as usize];
-                    let entry = residual.entry(pair_key(x, y)).or_insert(0.0);
-                    let before = *entry;
-                    *entry += delta;
-                    if before <= threshold && *entry > threshold {
-                        queue.push_back(pair_key(x, y));
-                    }
+            if frontier.len() > remaining {
+                // Budget safety valve: process a deterministic prefix, then
+                // stop (the sweep below absorbs what is left, exactly like
+                // the unbounded run absorbs sub-threshold residuals).
+                frontier.truncate(remaining);
+            }
+            // Push every frontier chunk in parallel against the *immutable*
+            // residual map; all writes land in chunk-local buffers.
+            let graph = &self.graph;
+            let residual_ref = &residual;
+            let inv_deg_ref = &inv_deg;
+            let outputs = pool.par_map_chunks(&frontier, PUSH_CHUNK, |_, chunk| {
+                push_chunk(graph, inv_deg_ref, residual_ref, chunk, c, threshold)
+            });
+            // Merge pass 1 (chunk order = frontier order): absorb pushed mass
+            // into Ŝ and zero the pushed residuals, before any deltas land.
+            let mut frontier_len_processed = 0usize;
+            for out in &outputs {
+                for &(key, r) in &out.absorbed {
+                    let (a, b) = crate::fxhash::unpack_pair(key);
+                    scores.add(a, b, r);
+                    residual.insert(key, 0.0);
+                }
+                frontier_len_processed += out.absorbed.len();
+            }
+            self.pushes_performed += frontier_len_processed;
+            // Merge pass 2 (chunk order): apply residual deltas. Distinct
+            // keys touch independent accumulators and same-key contributions
+            // are applied in chunk order, so the merged residual is
+            // independent of how chunks were scheduled across threads.
+            let mut candidates: Vec<u64> = Vec::new();
+            for out in outputs {
+                for (key, delta) in out.delta {
+                    *residual.entry(key).or_insert(0.0) += delta;
+                    candidates.push(key);
                 }
             }
+            // Next frontier: every touched pair now above the threshold, in
+            // canonical (sorted, deduplicated) order.
+            candidates.sort_unstable();
+            candidates.dedup();
+            candidates.retain(|key| residual.get(key).copied().unwrap_or(0.0) > threshold);
+            frontier = candidates;
         }
         // Residual sweep: absorb all remaining sub-threshold mass so dense
         // graphs keep their (small but informative) first-order scores.

@@ -1,0 +1,133 @@
+//! Serial/parallel parity for the LocalPush SimRank solver.
+//!
+//! The parallel LocalPush cuts each frontier round into fixed-size chunks
+//! whose boundaries and merge order depend only on the frontier — never on
+//! the thread count — so the approximate scores must be **bitwise
+//! identical** under any `SIGMA_NUM_THREADS`. These tests force the global
+//! pool to 1 and 4 threads and compare `f32` bit patterns, push counts, and
+//! the materialised top-k operator.
+
+use sigma_graph::Graph;
+use sigma_simrank::{LocalPush, SimRankConfig, SparseScores};
+
+/// A 200-node ring with six chord offsets: every frontier exceeds the
+/// 128-pair push chunk, so rounds genuinely split into multiple chunks and
+/// the chunk-ordered merge path is exercised.
+fn chorded_ring(n: usize) -> Graph {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for step in [1usize, 2, 3, 5, 8, 13] {
+            edges.push((u, (u + step) % n));
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+/// A small irregular graph with isolated nodes and degree skew.
+fn irregular_graph() -> Graph {
+    Graph::from_edges(
+        16,
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (9, 5),
+            (10, 11),
+            // Nodes 12–15 are isolated.
+        ],
+    )
+    .unwrap()
+}
+
+fn run_at(g: &Graph, cfg: SimRankConfig, threads: usize) -> (SparseScores, usize) {
+    sigma_parallel::set_global_threads(threads);
+    let mut solver = LocalPush::new(g, cfg).unwrap();
+    let scores = solver.run();
+    let pushes = solver.pushes_performed();
+    sigma_parallel::set_global_threads(0);
+    (scores, pushes)
+}
+
+fn assert_scores_bitwise_eq(a: &SparseScores, b: &SparseScores, what: &str) {
+    assert_eq!(a.num_nodes(), b.num_nodes(), "{what}: node count");
+    assert_eq!(a.nnz(), b.nnz(), "{what}: stored entry count");
+    for u in 0..a.num_nodes() {
+        let mut row_a: Vec<(usize, u32)> = a.row(u).map(|(v, s)| (v, s.to_bits())).collect();
+        let mut row_b: Vec<(usize, u32)> = b.row(u).map(|(v, s)| (v, s.to_bits())).collect();
+        row_a.sort_unstable();
+        row_b.sort_unstable();
+        assert_eq!(row_a, row_b, "{what}: row {u} differs");
+    }
+}
+
+#[test]
+fn localpush_scores_are_bitwise_identical_across_thread_counts() {
+    let g = chorded_ring(200);
+    let cfg = SimRankConfig::default();
+    let (serial, serial_pushes) = run_at(&g, cfg, 1);
+    let (parallel, parallel_pushes) = run_at(&g, cfg, 4);
+    assert_eq!(
+        serial_pushes, parallel_pushes,
+        "the deterministic round schedule must perform the same pushes"
+    );
+    assert_scores_bitwise_eq(&serial, &parallel, "chorded ring");
+}
+
+#[test]
+fn localpush_operator_is_identical_across_a_thread_sweep() {
+    let g = chorded_ring(150);
+    let cfg = SimRankConfig::default().with_top_k(8);
+    sigma_parallel::set_global_threads(1);
+    let reference = LocalPush::new(&g, cfg).unwrap().run_to_operator();
+    for threads in [2usize, 4, 8] {
+        sigma_parallel::set_global_threads(threads);
+        let operator = LocalPush::new(&g, cfg).unwrap().run_to_operator();
+        // CSR equality is structural + exact f32 values.
+        assert_eq!(
+            reference, operator,
+            "top-k operator differs at {threads} threads"
+        );
+    }
+    sigma_parallel::set_global_threads(0);
+}
+
+#[test]
+fn localpush_parity_holds_on_irregular_graphs_and_tight_epsilon() {
+    let g = irregular_graph();
+    for cfg in [
+        SimRankConfig::default(),
+        SimRankConfig::new(0.6, 0.005, Some(4)).unwrap(),
+        SimRankConfig::new(0.8, 0.02, None).unwrap(),
+    ] {
+        let (serial, serial_pushes) = run_at(&g, cfg, 1);
+        let (parallel, parallel_pushes) = run_at(&g, cfg, 4);
+        assert_eq!(serial_pushes, parallel_pushes);
+        assert_scores_bitwise_eq(&serial, &parallel, "irregular graph");
+    }
+}
+
+#[test]
+fn localpush_push_budget_is_thread_count_independent() {
+    let g = chorded_ring(150);
+    let cfg = SimRankConfig::default();
+    for budget in [5usize, 100, 1000] {
+        sigma_parallel::set_global_threads(1);
+        let mut serial = LocalPush::new(&g, cfg).unwrap().with_max_pushes(budget);
+        let serial_scores = serial.run();
+        sigma_parallel::set_global_threads(4);
+        let mut parallel = LocalPush::new(&g, cfg).unwrap().with_max_pushes(budget);
+        let parallel_scores = parallel.run();
+        sigma_parallel::set_global_threads(0);
+        assert_eq!(serial.pushes_performed(), parallel.pushes_performed());
+        assert!(serial.pushes_performed() <= budget);
+        assert_scores_bitwise_eq(&serial_scores, &parallel_scores, "budgeted run");
+    }
+}

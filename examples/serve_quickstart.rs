@@ -69,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &loaded,
         EngineConfig {
             cache_capacity: 512,
-            workers: 2,
+            // 0 = auto: fan chunks out across the shared sigma-parallel pool
+            // (sized by SIGMA_NUM_THREADS / the core count).
+            workers: 0,
             max_chunk: 64,
         },
     )?;

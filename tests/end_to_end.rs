@@ -12,6 +12,7 @@ fn quick_trainer(epochs: usize) -> Trainer {
         weight_decay: 1e-4,
         patience: 0,
         record_every: 5,
+        ..TrainConfig::default()
     })
 }
 
