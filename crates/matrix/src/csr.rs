@@ -488,30 +488,31 @@ impl CsrMatrix {
     /// Keeps only the `k` largest-magnitude entries of each row.
     ///
     /// This is the top-k pruning scheme SIGMA applies to the approximate
-    /// SimRank matrix to obtain an `O(kn)` aggregation operator.
+    /// SimRank matrix to obtain an `O(kn)` aggregation operator. Ties at the
+    /// `k` boundary break towards the smaller column index, so the selection
+    /// is a pure function of the row's contents (never of iteration or
+    /// scheduling order). Rows are materialised in parallel over disjoint
+    /// row ranges on the shared [`sigma_parallel::ThreadPool`] and
+    /// concatenated in range order, bitwise identical to the serial pass.
     pub fn top_k_per_row(&self, k: usize) -> CsrMatrix {
+        let pool = ThreadPool::global();
+        let parts = if pool.should_parallelize(self.nnz()) {
+            pool.par_map_ranges(self.rows, |range| self.top_k_rows(k, range))
+        } else {
+            vec![self.top_k_rows(k, 0..self.rows)]
+        };
+        let total_nnz: usize = parts.iter().map(|(_, idx, _)| idx.len()).sum();
         let mut indptr = Vec::with_capacity(self.rows + 1);
         indptr.push(0usize);
-        let mut indices: Vec<u32> = Vec::new();
-        let mut values: Vec<f32> = Vec::new();
-        let mut row_buf: Vec<(u32, f32)> = Vec::new();
-        for r in 0..self.rows {
-            row_buf.clear();
-            row_buf.extend(self.row_iter(r).map(|(c, v)| (c as u32, v)));
-            if row_buf.len() > k {
-                row_buf.sort_unstable_by(|a, b| {
-                    b.1.abs()
-                        .partial_cmp(&a.1.abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                row_buf.truncate(k);
+        let mut indices: Vec<u32> = Vec::with_capacity(total_nnz);
+        let mut values: Vec<f32> = Vec::with_capacity(total_nnz);
+        for (row_nnz, part_indices, part_values) in parts {
+            let base = indices.len();
+            for nnz in row_nnz {
+                indptr.push(base + nnz);
             }
-            row_buf.sort_unstable_by_key(|&(c, _)| c);
-            for &(c, v) in &row_buf {
-                indices.push(c);
-                values.push(v);
-            }
-            indptr.push(indices.len());
+            indices.extend_from_slice(&part_indices);
+            values.extend_from_slice(&part_values);
         }
         CsrMatrix {
             rows: self.rows,
@@ -520,6 +521,106 @@ impl CsrMatrix {
             indices,
             values,
         }
+    }
+
+    /// Top-k selection over one row range; returns the range's cumulative
+    /// per-row nnz plus its indices/values, concatenated by
+    /// [`CsrMatrix::top_k_per_row`] in range order.
+    fn top_k_rows(
+        &self,
+        k: usize,
+        range: std::ops::Range<usize>,
+    ) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+        let mut row_nnz = Vec::with_capacity(range.len());
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
+        let mut row_buf: Vec<(u32, f32)> = Vec::new();
+        for r in range {
+            row_buf.clear();
+            row_buf.extend(self.row_iter(r).map(|(c, v)| (c as u32, v)));
+            if row_buf.len() > k {
+                // Canonical order: |value| descending, column ascending on
+                // ties. `row_iter` yields sorted columns, so the sort input
+                // (and with the total ordering, the output) is deterministic.
+                row_buf.sort_unstable_by(|a, b| {
+                    b.1.abs()
+                        .partial_cmp(&a.1.abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                row_buf.truncate(k);
+            }
+            row_buf.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &row_buf {
+                indices.push(c);
+                values.push(v);
+            }
+            row_nnz.push(indices.len());
+        }
+        (row_nnz, indices, values)
+    }
+
+    /// Returns a copy of `self` with the listed rows replaced by the rows of
+    /// `replacement` (its `i`-th row becomes row `rows[i]`).
+    ///
+    /// `rows` must be strictly ascending (sorted, duplicate-free) and in
+    /// bounds; `replacement` must have exactly `rows.len()` rows and the
+    /// same column count. The splice is a single `O(nnz)` pass.
+    ///
+    /// This is the operator-patching primitive behind incremental repair:
+    /// after an edge edit perturbs a handful of SimRank rows, only those
+    /// rows of the top-k aggregation operator are re-materialised and
+    /// spliced in, instead of rebuilding the whole matrix.
+    pub fn replace_rows(&self, rows: &[usize], replacement: &CsrMatrix) -> Result<CsrMatrix> {
+        if replacement.rows != rows.len() || replacement.cols != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "replace_rows",
+                lhs: self.shape(),
+                rhs: replacement.shape(),
+            });
+        }
+        if rows.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(MatrixError::UnsortedSelection { op: "replace_rows" });
+        }
+        if let Some(&last) = rows.last() {
+            if last >= self.rows {
+                return Err(MatrixError::IndexOutOfBounds {
+                    row: last,
+                    col: 0,
+                    shape: self.shape(),
+                });
+            }
+        }
+        let replaced_nnz: usize = rows.iter().map(|&r| self.row_nnz(r)).sum();
+        let new_nnz = self.nnz() - replaced_nnz + replacement.nnz();
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::with_capacity(new_nnz);
+        let mut values: Vec<f32> = Vec::with_capacity(new_nnz);
+        let mut next = rows.iter().copied().zip(0..rows.len()).peekable();
+        for r in 0..self.rows {
+            let (src, start, end) = match next.peek() {
+                Some(&(patch_row, i)) if patch_row == r => {
+                    next.next();
+                    (
+                        replacement,
+                        replacement.indptr[i],
+                        replacement.indptr[i + 1],
+                    )
+                }
+                _ => (self, self.indptr[r], self.indptr[r + 1]),
+            };
+            indices.extend_from_slice(&src.indices[start..end]);
+            values.extend_from_slice(&src.values[start..end]);
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Normalizes every row to sum to one (rows with zero sum are left empty).
@@ -1009,6 +1110,96 @@ mod tests {
         let before = zero.clone();
         zero.row_normalize();
         assert_eq!(zero, before);
+    }
+
+    #[test]
+    fn replace_rows_splices_patch_rows() {
+        let m = sample();
+        // Replace rows 0 and 2 of the sample with new contents.
+        let patch =
+            CsrMatrix::from_triplets(2, 3, &[(0, 0, 5.0), (0, 2, 6.0), (1, 1, -1.0)]).unwrap();
+        let patched = m.replace_rows(&[0, 2], &patch).unwrap();
+        assert_eq!(patched.shape(), (3, 3));
+        assert_eq!(patched.get(0, 0), 5.0);
+        assert_eq!(patched.get(0, 2), 6.0);
+        assert_eq!(patched.get(0, 1), 0.0);
+        // Untouched row 1 is carried over verbatim.
+        assert_eq!(patched.get(1, 0), 1.0);
+        assert_eq!(patched.get(1, 2), 3.0);
+        assert_eq!(patched.get(2, 1), -1.0);
+        assert_eq!(patched.nnz(), 5);
+    }
+
+    #[test]
+    fn replace_rows_with_empty_selection_is_identity() {
+        let m = sample();
+        let empty = CsrMatrix::from_triplets(0, 3, &[]).unwrap();
+        assert_eq!(m.replace_rows(&[], &empty).unwrap(), m);
+    }
+
+    #[test]
+    fn replace_rows_can_empty_and_widen_rows() {
+        let m = sample();
+        // Row 1 (two entries) becomes empty; row 2 (empty) gains three.
+        let patch =
+            CsrMatrix::from_triplets(2, 3, &[(1, 0, 1.0), (1, 1, 2.0), (1, 2, 3.0)]).unwrap();
+        let patched = m.replace_rows(&[1, 2], &patch).unwrap();
+        assert_eq!(patched.row_nnz(1), 0);
+        assert_eq!(patched.row_nnz(2), 3);
+        assert_eq!(patched.get(2, 1), 2.0);
+        assert_eq!(patched.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn replace_rows_validates_inputs() {
+        let m = sample();
+        let patch = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]).unwrap();
+        // Selection length must match the patch row count.
+        assert!(matches!(
+            m.replace_rows(&[0], &patch),
+            Err(MatrixError::DimensionMismatch {
+                op: "replace_rows",
+                ..
+            })
+        ));
+        // Column count must match.
+        let narrow = CsrMatrix::from_triplets(2, 2, &[]).unwrap();
+        assert!(m.replace_rows(&[0, 1], &narrow).is_err());
+        // Selection must be strictly ascending.
+        assert!(matches!(
+            m.replace_rows(&[1, 0], &patch),
+            Err(MatrixError::UnsortedSelection { .. })
+        ));
+        assert!(matches!(
+            m.replace_rows(&[1, 1], &patch),
+            Err(MatrixError::UnsortedSelection { .. })
+        ));
+        // Selection must be in bounds.
+        assert!(matches!(
+            m.replace_rows(&[0, 3], &patch),
+            Err(MatrixError::IndexOutOfBounds { row: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn replace_rows_round_trips_through_gather() {
+        // Splicing a gathered slice back in reproduces the original matrix.
+        let m = sample();
+        let rows = [0usize, 2];
+        let slice = m.gather_rows(&rows).unwrap();
+        assert_eq!(m.replace_rows(&rows, &slice).unwrap(), m);
+    }
+
+    #[test]
+    fn top_k_tie_break_prefers_smaller_columns() {
+        // Three equal-magnitude entries, k = 2: the canonical order keeps
+        // the two smallest column indices regardless of traversal order.
+        let m = CsrMatrix::from_triplets(1, 4, &[(0, 0, 0.5), (0, 1, -0.5), (0, 3, 0.5)]).unwrap();
+        let pruned = m.top_k_per_row(2);
+        assert_eq!(pruned.nnz(), 2);
+        assert_eq!(pruned.get(0, 0), 0.5);
+        assert_eq!(pruned.get(0, 1), -0.5);
+        assert_eq!(pruned.get(0, 3), 0.0);
     }
 
     #[test]

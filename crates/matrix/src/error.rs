@@ -42,6 +42,12 @@ pub enum MatrixError {
         /// Index of the first offending row.
         row: usize,
     },
+    /// A row-selection argument must be sorted strictly ascending (sorted
+    /// and duplicate-free) but was not.
+    UnsortedSelection {
+        /// Name of the operation that rejected the selection.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -68,6 +74,10 @@ impl fmt::Display for MatrixError {
             MatrixError::UnsortedRow { row } => write!(
                 f,
                 "row {row} has unsorted column indices (CSR rows must be sorted ascending)"
+            ),
+            MatrixError::UnsortedSelection { op } => write!(
+                f,
+                "{op} requires a strictly ascending (sorted, duplicate-free) row selection"
             ),
         }
     }

@@ -400,6 +400,42 @@ impl ThreadPool {
             .collect()
     }
 
+    /// Maps every item of `items` through `f` as its own scoped task,
+    /// returning results in item order.
+    ///
+    /// Unlike [`ThreadPool::par_map_chunks`] the scheduling unit is a single
+    /// item, which load-balances heavily skewed per-item costs — the repair
+    /// rounds of the incremental SimRank maintainer, where one dirty seed's
+    /// re-push can dominate a whole batch, are the motivating caller. Each
+    /// result lands in the slot of its item, so for a pure `f` the output is
+    /// identical at every thread count.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if items.len() <= 1 || self.num_threads() == 1 {
+            return items.iter().map(&f).collect();
+        }
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        {
+            let f = &f;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
+                .iter()
+                .zip(slots.iter_mut())
+                .map(|(item, slot)| {
+                    Box::new(move || *slot = Some(f(item))) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.run(tasks);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every item task ran to completion"))
+            .collect()
+    }
+
     /// Maps fixed-size chunks of `items` through `f` in parallel, returning
     /// results in chunk order.
     ///
@@ -581,6 +617,18 @@ mod tests {
         let b = ThreadPool::with_threads(4).par_map_chunks(&items, 64, f);
         assert_eq!(a, b);
         assert_eq!(a.len(), 997usize.div_ceil(64));
+    }
+
+    #[test]
+    fn par_map_preserves_item_order_at_any_width() {
+        let items: Vec<u64> = (0..321).collect();
+        let f = |&x: &u64| x * x + 1;
+        let serial = ThreadPool::with_threads(1).par_map(&items, f);
+        let parallel = ThreadPool::with_threads(4).par_map(&items, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[17], 17 * 17 + 1);
+        let empty: Vec<u64> = ThreadPool::with_threads(4).par_map(&[], f);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -13,21 +13,31 @@
 //! invalidate exactly the cached rows whose operator entries can change
 //! (endpoints, their neighbours, and every row referencing them), and a
 //! refreshed operator from [`sigma_simrank::DynamicSimRank`] can be swapped
-//! in without rebuilding the engine.
+//! in without rebuilding the engine. On top of the full swap,
+//! [`InferenceEngine::repair_from`] performs **incremental repair**: it asks
+//! the maintainer for the exact set of operator rows an edit trace changed,
+//! patches those rows (and the `H` rows of the edited nodes — the encoder is
+//! row-local, so the patch is bitwise identical to a full re-encode) in
+//! place, and evicts only the affected cache entries instead of dropping the
+//! whole cache with an operator-epoch bump.
 //!
 //! Concurrency comes from the process-wide [`sigma_parallel::ThreadPool`]
 //! shared with the training kernels — the engine no longer owns threads of
 //! its own. Large batches are chunked and fanned out as scoped tasks; the
 //! [`EngineConfig::workers`] knob bounds how many chunks run concurrently
 //! and is validated against the shared pool's size at construction.
+//! Maintenance calls ([`InferenceEngine::install_operator`],
+//! [`InferenceEngine::repair_from`]) may race queries freely, but must not
+//! race each other — run them from a single maintenance thread.
 
 use crate::cache::LruCache;
-use crate::forward::compute_embeddings;
+use crate::forward::{compute_embeddings, compute_embeddings_rows};
 use crate::snapshot::ServeSnapshot;
 use crate::{Result, ServeError};
+use sigma::snapshot::ModelSnapshot;
 use sigma_matrix::{CsrMatrix, DenseMatrix};
 use sigma_parallel::ThreadPool;
-use sigma_simrank::{DynamicSimRank, EdgeUpdate};
+use sigma_simrank::{DynamicSimRank, EdgeUpdate, RepairOutcome};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -130,10 +140,18 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Aggregated rows recomputed via the row-sliced kernel.
     pub cache_misses: u64,
-    /// Cached rows dropped by edge-update invalidation.
+    /// Cached rows dropped by edge-update invalidation or repair.
     pub rows_invalidated: u64,
-    /// Operator swap-ins from a refreshed maintainer.
+    /// Operator swap-ins from a refreshed maintainer (whole-operator path;
+    /// drops the entire cache).
     pub operator_refreshes: u64,
+    /// Incremental repairs applied by [`InferenceEngine::repair_from`]
+    /// (row-patch path; keeps unaffected cache entries).
+    pub operator_repairs: u64,
+    /// Operator rows patched in place across all repairs.
+    pub rows_repaired: u64,
+    /// Embedding (`H`) rows recomputed in place across all repairs.
+    pub embedding_rows_repaired: u64,
 }
 
 #[derive(Default)]
@@ -144,6 +162,9 @@ struct AtomicStats {
     cache_misses: AtomicU64,
     rows_invalidated: AtomicU64,
     operator_refreshes: AtomicU64,
+    operator_repairs: AtomicU64,
+    rows_repaired: AtomicU64,
+    embedding_rows_repaired: AtomicU64,
 }
 
 impl AtomicStats {
@@ -155,6 +176,9 @@ impl AtomicStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             rows_invalidated: self.rows_invalidated.load(Ordering::Relaxed),
             operator_refreshes: self.operator_refreshes.load(Ordering::Relaxed),
+            operator_repairs: self.operator_repairs.load(Ordering::Relaxed),
+            rows_repaired: self.rows_repaired.load(Ordering::Relaxed),
+            embedding_rows_repaired: self.embedding_rows_repaired.load(Ordering::Relaxed),
         }
     }
 }
@@ -173,23 +197,42 @@ impl OperatorState {
     }
 }
 
-struct Shared {
+/// Everything a query must observe as one consistent unit: the embedding,
+/// the adjacency it was encoded from, and the aggregation operator. Batches
+/// take the read side; operator swaps and incremental repairs take the
+/// write side, so a batch never sees a half-patched state.
+struct ServingState {
     /// Precomputed full-graph embedding `H` (`n × C`).
     embeddings: DenseMatrix,
+    /// Adjacency the embedding was computed from, kept in sync by repairs;
+    /// also the source of first-order invalidation regions.
+    adjacency: CsrMatrix,
+    /// Constant aggregation operator (`None` = SIGMA w/o S: `Ẑ = H`).
+    operator: Option<OperatorState>,
+}
+
+struct Shared {
+    state: RwLock<ServingState>,
+    /// Exported encoder weights, retained so repairs can re-encode the `H`
+    /// rows of edited nodes.
+    model: ModelSnapshot,
+    /// Node features `X`, the dense half of the encoder input.
+    features: DenseMatrix,
     /// Effective local/global balance `α`.
     alpha: f32,
-    /// Constant aggregation operator (`None` = SIGMA w/o S: `Ẑ = H`).
-    operator: RwLock<Option<OperatorState>>,
+    /// Node and class counts (immutable over the engine's lifetime).
+    num_nodes: usize,
+    num_classes: usize,
     /// Bounded memo of aggregated rows.
     cache: Mutex<LruCache>,
     /// Nodes whose operator rows may be stale w.r.t. applied edge updates.
     stale: Mutex<HashSet<usize>>,
-    /// Adjacency at snapshot time, for first-order invalidation regions.
-    adjacency: CsrMatrix,
-    /// Operator generation counter, bumped by [`InferenceEngine::install_operator`].
-    /// Rows computed against generation `g` may only enter the cache while
-    /// the generation is still `g` — otherwise a batch racing an operator
-    /// swap could cache old-operator rows after the swap's cache clear.
+    /// Operator generation counter, bumped whenever the serving state is
+    /// mutated ([`InferenceEngine::install_operator`],
+    /// [`InferenceEngine::repair_from`]). Rows computed against generation
+    /// `g` may only enter the cache while the generation is still `g` —
+    /// otherwise a batch racing a swap could cache old-operator rows after
+    /// the swap's cache clear (or a repair's targeted eviction).
     epoch: AtomicU64,
     stats: AtomicStats,
 }
@@ -198,6 +241,24 @@ struct Shared {
 pub struct InferenceEngine {
     shared: Arc<Shared>,
     config: EngineConfig,
+}
+
+/// What one [`InferenceEngine::repair_from`] call changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineRepair {
+    /// Operator rows patched in place (sorted). On a full refresh this
+    /// lists every row.
+    pub operator_rows: Vec<usize>,
+    /// Embedding (`H`) rows re-encoded in place (sorted): the nodes whose
+    /// adjacency rows differed from the engine's.
+    pub embedding_rows: Vec<usize>,
+    /// Cached `Ẑ` rows invalidated (sorted): the patched operator rows plus
+    /// every row whose operator entries reference a re-encoded node. On a
+    /// full refresh the whole cache is dropped instead and this is empty.
+    pub invalidated_rows: Vec<usize>,
+    /// Whether the engine fell back to a whole-operator install (first sync
+    /// with a maintainer that had no prior state).
+    pub full_refresh: bool,
 }
 
 impl std::fmt::Debug for InferenceEngine {
@@ -223,13 +284,21 @@ impl InferenceEngine {
         let embeddings =
             compute_embeddings(&snapshot.model, &snapshot.features, &snapshot.adjacency)?;
         let operator = snapshot.model.operator.clone().map(OperatorState::new);
+        let num_nodes = embeddings.rows();
+        let num_classes = embeddings.cols();
         let shared = Arc::new(Shared {
-            embeddings,
+            state: RwLock::new(ServingState {
+                embeddings,
+                adjacency: snapshot.adjacency.clone(),
+                operator,
+            }),
+            model: snapshot.model.clone(),
+            features: snapshot.features.clone(),
             alpha: snapshot.model.effective_alpha() as f32,
-            operator: RwLock::new(operator),
+            num_nodes,
+            num_classes,
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             stale: Mutex::new(HashSet::new()),
-            adjacency: snapshot.adjacency.clone(),
             epoch: AtomicU64::new(0),
             stats: AtomicStats::default(),
         });
@@ -238,17 +307,30 @@ impl InferenceEngine {
 
     /// Number of nodes the engine serves.
     pub fn num_nodes(&self) -> usize {
-        self.shared.embeddings.rows()
+        self.shared.num_nodes
     }
 
     /// Number of classes per prediction.
     pub fn num_classes(&self) -> usize {
-        self.shared.embeddings.cols()
+        self.shared.num_classes
     }
 
     /// The effective `α` blended at serve time.
     pub fn alpha(&self) -> f32 {
         self.shared.alpha
+    }
+
+    /// A copy of the aggregation operator currently served (`None` when the
+    /// engine runs the operator-less `Ẑ = H` variant). Observability hook
+    /// used by the differential test harness.
+    pub fn operator(&self) -> Option<CsrMatrix> {
+        self.shared
+            .state
+            .read()
+            .expect("serving state poisoned")
+            .operator
+            .as_ref()
+            .map(|state| state.matrix.clone())
     }
 
     /// Serves a single node.
@@ -307,20 +389,23 @@ impl InferenceEngine {
     pub fn apply_edge_updates(&self, updates: &[EdgeUpdate]) -> Result<usize> {
         let n = self.num_nodes();
         let mut affected: HashSet<usize> = HashSet::new();
-        for &update in updates {
-            let (u, v) = match update {
-                EdgeUpdate::Insert(u, v) | EdgeUpdate::Delete(u, v) => (u, v),
-            };
-            if u >= n || v >= n {
-                return Err(ServeError::InvalidQuery {
-                    node: u.max(v),
-                    num_nodes: n,
-                });
-            }
-            for endpoint in [u, v] {
-                affected.insert(endpoint);
-                for (nb, _) in self.shared.adjacency.row_iter(endpoint) {
-                    affected.insert(nb);
+        {
+            let state = self.shared.state.read().expect("serving state poisoned");
+            for &update in updates {
+                let (u, v) = match update {
+                    EdgeUpdate::Insert(u, v) | EdgeUpdate::Delete(u, v) => (u, v),
+                };
+                if u >= n || v >= n {
+                    return Err(ServeError::InvalidQuery {
+                        node: u.max(v),
+                        num_nodes: n,
+                    });
+                }
+                for endpoint in [u, v] {
+                    affected.insert(endpoint);
+                    for (nb, _) in state.adjacency.row_iter(endpoint) {
+                        affected.insert(nb);
+                    }
                 }
             }
         }
@@ -333,7 +418,8 @@ impl InferenceEngine {
     /// operator is swapped in (clearing the cache and staleness set) and
     /// `true` is returned. Otherwise the maintainer's affected-node set is
     /// marked stale here, bounding how wrong served rows can be, and `false`
-    /// is returned.
+    /// is returned. See [`InferenceEngine::repair_from`] for the incremental
+    /// alternative that stays exact without dropping the cache.
     pub fn sync_with(&self, maintainer: &mut DynamicSimRank) -> Result<bool> {
         if maintainer.needs_refresh() {
             let operator = maintainer.operator()?;
@@ -346,6 +432,189 @@ impl InferenceEngine {
         }
     }
 
+    /// Incrementally repairs the served state from a [`DynamicSimRank`]
+    /// maintainer after graph edits, instead of swapping the whole operator.
+    ///
+    /// Drives [`DynamicSimRank::repair`] and then patches, in place and
+    /// under one write lock:
+    ///
+    /// * the operator rows the maintainer reports as changed (spliced with
+    ///   `CsrMatrix::replace_rows`),
+    /// * the `H` rows of every node whose adjacency row differs from the
+    ///   engine's copy (the encoder is row-local, so the re-encoded rows are
+    ///   bitwise identical to a full re-encode),
+    /// * the engine's adjacency itself.
+    ///
+    /// Afterwards only the affected cache entries — patched operator rows
+    /// plus rows referencing a re-encoded node — are evicted; every other
+    /// cached row is provably still exact, so a warm cache survives the
+    /// edit. The staleness set is cleared: the engine is fully consistent
+    /// with the maintainer's graph, bitwise identical to an engine rebuilt
+    /// from scratch on it.
+    ///
+    /// The engine's operator must have come from the same maintainer (or an
+    /// equal one): row patches are relative to the served operator. The
+    /// first call against a maintainer with no prior state falls back to a
+    /// whole-operator install (`full_refresh` in the returned report).
+    pub fn repair_from(&self, maintainer: &mut DynamicSimRank) -> Result<EngineRepair> {
+        let n = self.num_nodes();
+        let graph_nodes = maintainer.graph().num_nodes();
+        if graph_nodes != n {
+            return Err(ServeError::OperatorMismatch {
+                got: (graph_nodes, graph_nodes),
+                expected: n,
+            });
+        }
+        let outcome = maintainer.repair()?;
+        let has_operator = self
+            .shared
+            .state
+            .read()
+            .expect("serving state poisoned")
+            .operator
+            .is_some();
+        // Resolve the operator payload before taking the write lock (the
+        // maintainer materialises rows lazily).
+        let (operator_rows, operator_patch, full_operator) = match (&outcome, has_operator) {
+            (RepairOutcome::Patched(repair), true) => {
+                let rows = repair.changed_rows.clone();
+                let patch = maintainer.operator_rows(&rows)?;
+                (rows, Some(patch), None)
+            }
+            (RepairOutcome::FullRefresh, true) => {
+                let operator = maintainer.operator()?;
+                if operator.shape() != (n, n) {
+                    return Err(ServeError::OperatorMismatch {
+                        got: operator.shape(),
+                        expected: n,
+                    });
+                }
+                ((0..n).collect(), None, Some(operator))
+            }
+            // Operator-less engine (`Ẑ = H`): only the embedding needs care.
+            (_, false) => (Vec::new(), None, None),
+        };
+        let adjacency_new = maintainer.graph().to_adjacency();
+
+        // Re-encode exactly the nodes whose adjacency rows differ. The diff
+        // is against the engine's own copy, so it also catches edits the
+        // maintainer absorbed before this engine ever synced. Both the diff
+        // and the re-encode run *before* the write lock: the encoder
+        // dispatches onto the shared pool, and the pool's help-first join
+        // may hand this thread a queued serve-batch task that needs the
+        // state read lock — dispatching while holding the write lock would
+        // self-deadlock. (Maintenance calls are externally serialised, and
+        // queries never mutate the state, so the diff cannot go stale
+        // between here and the write section below.)
+        let embedding_rows = {
+            let state = self.shared.state.read().expect("serving state poisoned");
+            changed_adjacency_rows(&state.adjacency, &adjacency_new)
+        };
+        let patched_h = if embedding_rows.is_empty() {
+            None
+        } else {
+            Some(compute_embeddings_rows(
+                &self.shared.model,
+                &self.shared.features,
+                &adjacency_new,
+                &embedding_rows,
+            )?)
+        };
+
+        let full_refresh = full_operator.is_some();
+        let mut evicted = 0usize;
+        let invalidated_rows: Vec<usize>;
+        {
+            let mut state = self.write_state();
+            if let Some(patched_h) = &patched_h {
+                for (i, &row) in embedding_rows.iter().enumerate() {
+                    state
+                        .embeddings
+                        .row_mut(row)
+                        .copy_from_slice(patched_h.row(i));
+                }
+            }
+            state.adjacency = adjacency_new;
+            if let Some(operator) = full_operator {
+                state.operator = Some(OperatorState::new(operator));
+            } else if let Some(patch) = operator_patch {
+                let operator = state
+                    .operator
+                    .as_mut()
+                    .expect("patch path implies an operator");
+                operator.matrix = operator.matrix.replace_rows(&operator_rows, &patch)?;
+                operator.reverse = operator.matrix.transpose();
+            }
+            // Bump the generation while still holding the write lock, so an
+            // in-flight batch that computed rows against the pre-repair
+            // state observes a changed epoch and skips caching them.
+            self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+
+            // Invalidation set: rows whose own operator row was patched,
+            // plus rows whose `Ẑ` reads a re-encoded `H` row.
+            let mut invalid: HashSet<usize> = operator_rows.iter().copied().collect();
+            match state.operator.as_ref() {
+                Some(operator) => {
+                    for &node in &embedding_rows {
+                        for (row, _) in operator.reverse.row_iter(node) {
+                            invalid.insert(row);
+                        }
+                    }
+                }
+                // Without an operator a cached row is `H` itself.
+                None => invalid.extend(embedding_rows.iter().copied()),
+            }
+            let mut sorted: Vec<usize> = invalid.into_iter().collect();
+            sorted.sort_unstable();
+            invalidated_rows = sorted;
+
+            // Evict while still holding the write lock (queries acquire the
+            // cache lock only inside or after their state read section, so
+            // the state → cache order is deadlock-free): once the patched
+            // state is visible, no stale `Ẑ` row can be served against it.
+            let mut cache = self.shared.cache.lock().expect("cache lock poisoned");
+            if full_refresh {
+                cache.clear();
+            } else {
+                for &row in &invalidated_rows {
+                    if cache.invalidate(row) {
+                        evicted += 1;
+                    }
+                }
+            }
+        }
+        self.shared
+            .stale
+            .lock()
+            .expect("stale lock poisoned")
+            .clear();
+        let stats = &self.shared.stats;
+        stats
+            .rows_invalidated
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        stats
+            .embedding_rows_repaired
+            .fetch_add(embedding_rows.len() as u64, Ordering::Relaxed);
+        if full_refresh {
+            stats.operator_refreshes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.operator_repairs.fetch_add(1, Ordering::Relaxed);
+            stats
+                .rows_repaired
+                .fetch_add(operator_rows.len() as u64, Ordering::Relaxed);
+        }
+        Ok(EngineRepair {
+            operator_rows,
+            embedding_rows,
+            invalidated_rows: if full_refresh {
+                Vec::new()
+            } else {
+                invalidated_rows
+            },
+            full_refresh,
+        })
+    }
+
     /// Replaces the aggregation operator (e.g. after a SimRank refresh on an
     /// updated graph), clearing the row cache and the staleness set.
     pub fn install_operator(&self, operator: CsrMatrix) -> Result<()> {
@@ -356,14 +625,10 @@ impl InferenceEngine {
                 expected: n,
             });
         }
-        let state = OperatorState::new(operator);
+        let new_state = OperatorState::new(operator);
         {
-            let mut guard = self
-                .shared
-                .operator
-                .write()
-                .expect("operator lock poisoned");
-            *guard = Some(state);
+            let mut state = self.write_state();
+            state.operator = Some(new_state);
             // Bump the generation while still holding the write lock, so any
             // in-flight batch that read the old operator observes a changed
             // epoch and skips caching its rows.
@@ -410,6 +675,25 @@ impl InferenceEngine {
         self.shared.stats.snapshot()
     }
 
+    /// Acquires the serving-state write lock without ever *queueing* behind
+    /// active readers.
+    ///
+    /// A serve batch holds the read lock while dispatching onto the shared
+    /// pool, and the pool's help-first join can hand that thread another
+    /// batch task which re-acquires the read lock. Recursive reads are only
+    /// safe while no writer is waiting (std's `RwLock` may be
+    /// writer-preferring), so maintenance writers spin on `try_write`
+    /// instead of blocking — batches are short and maintenance is rare.
+    fn write_state(&self) -> std::sync::RwLockWriteGuard<'_, ServingState> {
+        loop {
+            match self.shared.state.try_write() {
+                Ok(guard) => return guard,
+                Err(std::sync::TryLockError::WouldBlock) => std::thread::yield_now(),
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("serving state poisoned"),
+            }
+        }
+    }
+
     /// Marks `affected` nodes stale and evicts every cached row referencing
     /// them; returns the number of evicted rows.
     fn invalidate_region(&self, affected: &HashSet<usize>) -> usize {
@@ -418,17 +702,14 @@ impl InferenceEngine {
         }
         // Rows whose operator entries touch an affected column.
         let mut rows: HashSet<usize> = affected.iter().copied().collect();
-        if let Some(state) = self
-            .shared
-            .operator
-            .read()
-            .expect("operator lock poisoned")
-            .as_ref()
         {
-            for &a in affected {
-                if a < state.reverse.rows() {
-                    for (row, _) in state.reverse.row_iter(a) {
-                        rows.insert(row);
+            let state = self.shared.state.read().expect("serving state poisoned");
+            if let Some(operator) = state.operator.as_ref() {
+                for &a in affected {
+                    if a < operator.reverse.rows() {
+                        for (row, _) in operator.reverse.row_iter(a) {
+                            rows.insert(row);
+                        }
                     }
                 }
             }
@@ -454,37 +735,71 @@ impl InferenceEngine {
     }
 }
 
+/// Rows on which two equal-shape CSR matrices differ (indices or values).
+fn changed_adjacency_rows(old: &CsrMatrix, new: &CsrMatrix) -> Vec<usize> {
+    debug_assert_eq!(old.shape(), new.shape());
+    (0..old.rows())
+        .filter(|&r| {
+            let (os, oe) = (old.indptr()[r], old.indptr()[r + 1]);
+            let (ns, ne) = (new.indptr()[r], new.indptr()[r + 1]);
+            old.indices()[os..oe] != new.indices()[ns..ne]
+                || old.values()[os..oe] != new.values()[ns..ne]
+        })
+        .collect()
+}
+
 /// Serves one batch: cache lookups, one row-sliced SpMM for the misses,
 /// Eq. 6 blending, staleness tagging.
 fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
-    let n = shared.embeddings.rows();
-    let classes = shared.embeddings.cols();
+    let n = shared.num_nodes;
+    let classes = shared.num_classes;
     for &node in nodes {
         if node >= n {
             return Err(ServeError::InvalidQuery { node, num_nodes: n });
         }
     }
 
-    // Plan: resolve each queried node to a cached row or a miss.
+    // Plan and compute under ONE read of the serving state: the cache
+    // probe, the row-sliced SpMM for every miss, and the `H` rows blended
+    // below. Probing inside the guard matters — a repair patches `H` and
+    // evicts stale `Ẑ` rows under the write lock, so a hit observed here is
+    // always consistent with the `H` rows read here (the state → cache lock
+    // order matches the repair path).
     let mut z_hat: Vec<Option<Vec<f32>>> = vec![None; nodes.len()];
     let mut cached = vec![false; nodes.len()];
     let mut misses: Vec<usize> = Vec::new();
     let mut miss_slots: Vec<usize> = Vec::new();
-    {
-        let mut cache = shared.cache.lock().expect("cache lock poisoned");
-        for (slot, &node) in nodes.iter().enumerate() {
-            match cache.get(node) {
-                Some(row) => {
-                    z_hat[slot] = Some(row.to_vec());
-                    cached[slot] = true;
-                }
-                None => {
-                    misses.push(node);
-                    miss_slots.push(slot);
+    let (computed, h_rows, computed_epoch): (DenseMatrix, DenseMatrix, u64) = {
+        let state = shared.state.read().expect("serving state poisoned");
+        // Capture the generation while holding the state lock, pairing the
+        // epoch with the matrices the rows are computed from.
+        let epoch = shared.epoch.load(Ordering::SeqCst);
+        {
+            let mut cache = shared.cache.lock().expect("cache lock poisoned");
+            for (slot, &node) in nodes.iter().enumerate() {
+                match cache.get(node) {
+                    Some(row) => {
+                        z_hat[slot] = Some(row.to_vec());
+                        cached[slot] = true;
+                    }
+                    None => {
+                        misses.push(node);
+                        miss_slots.push(slot);
+                    }
                 }
             }
         }
-    }
+        let computed = if misses.is_empty() {
+            DenseMatrix::zeros(0, classes)
+        } else {
+            match state.operator.as_ref() {
+                Some(operator) => operator.matrix.spmm_rows(&misses, &state.embeddings)?,
+                None => state.embeddings.select_rows(&misses)?,
+            }
+        };
+        let h_rows = state.embeddings.select_rows(nodes)?;
+        (computed, h_rows, epoch)
+    };
     shared
         .stats
         .cache_hits
@@ -493,24 +808,11 @@ fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
         .stats
         .cache_misses
         .fetch_add(misses.len() as u64, Ordering::Relaxed);
-
-    // One row-sliced SpMM covers every miss in the batch.
     if !misses.is_empty() {
-        let (computed, computed_epoch): (DenseMatrix, u64) = {
-            let operator = shared.operator.read().expect("operator lock poisoned");
-            // Capture the generation while holding the operator lock, pairing
-            // the epoch with the matrix the rows are computed from.
-            let epoch = shared.epoch.load(Ordering::SeqCst);
-            let rows = match operator.as_ref() {
-                Some(state) => state.matrix.spmm_rows(&misses, &shared.embeddings)?,
-                None => shared.embeddings.select_rows(&misses)?,
-            };
-            (rows, epoch)
-        };
         let mut cache = shared.cache.lock().expect("cache lock poisoned");
-        // If the operator was swapped while we computed, the rows are still
-        // a consistent answer for this query (it raced the swap) but must
-        // not poison the freshly cleared cache.
+        // If the serving state was mutated while we computed, the rows are
+        // still a consistent answer for this query (it raced the update) but
+        // must not poison the freshly cleared/repaired cache.
         let cache_rows = shared.epoch.load(Ordering::SeqCst) == computed_epoch;
         for (i, &slot) in miss_slots.iter().enumerate() {
             let row = computed.row(i).to_vec();
@@ -527,7 +829,7 @@ fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
     let mut out = Vec::with_capacity(nodes.len());
     for (slot, &node) in nodes.iter().enumerate() {
         let z_hat_row = z_hat[slot].take().expect("every slot resolved");
-        let h_row = shared.embeddings.row(node);
+        let h_row = h_rows.row(slot);
         let mut logits = Vec::with_capacity(classes);
         for (z, &h) in z_hat_row.iter().zip(h_row.iter()) {
             logits.push((1.0 - alpha) * z + alpha * h);

@@ -54,6 +54,29 @@ pub fn compute_embeddings(
     mlp_infer_dense(&model.mlp_h, &combined)
 }
 
+/// Computes the embedding rows of the listed nodes only.
+///
+/// `adjacency` must be the *full* `n × n` adjacency; the listed rows are
+/// gathered out of it before the encoder runs. Every operation in the
+/// encoder stack (GEMM, SpMM, bias, ReLU) is row-local with a fixed per-row
+/// accumulation order, so the returned rows are **bitwise identical** to the
+/// corresponding rows of [`compute_embeddings`] on the same inputs — the
+/// property that lets the engine's incremental repair patch `H` rows in
+/// place after an edge edit instead of re-encoding the whole graph.
+pub fn compute_embeddings_rows(
+    model: &ModelSnapshot,
+    features: &DenseMatrix,
+    adjacency: &CsrMatrix,
+    rows: &[usize],
+) -> Result<DenseMatrix> {
+    let adj_rows = adjacency.gather_rows(rows)?;
+    let feat_rows = features.select_rows(rows)?;
+    let h_a = mlp_infer_sparse(&model.mlp_a, &adj_rows)?;
+    let h_x = mlp_infer_dense(&model.mlp_x, &feat_rows)?;
+    let combined = h_x.linear_combination(model.delta as f32, (1.0 - model.delta) as f32, &h_a)?;
+    mlp_infer_dense(&model.mlp_h, &combined)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +109,53 @@ mod tests {
         let dense = mlp_infer_dense(&stack, &a.to_dense()).unwrap();
         for (s, d) in sparse.as_slice().iter().zip(dense.as_slice()) {
             assert!((s - d).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn row_sliced_embeddings_match_the_full_encode_bitwise() {
+        use sigma::snapshot::ModelSnapshot;
+        use sigma::AggregatorKind;
+        let n = 12usize;
+        let f = 5usize;
+        let hidden = 7usize;
+        let classes = 3usize;
+        let layer = |rows: usize, cols: usize, scale: f32| {
+            (
+                DenseMatrix::from_fn(rows, cols, move |i, j| {
+                    ((i * 31 + j * 17) % 13) as f32 * scale - 0.4
+                }),
+                DenseMatrix::from_fn(1, cols, move |_, j| j as f32 * 0.03 - 0.1),
+            )
+        };
+        let model = ModelSnapshot {
+            delta: 0.55,
+            alpha: 0.3,
+            alpha_raw: None,
+            dropout: 0.0,
+            aggregator: AggregatorKind::SimRank,
+            operator: None,
+            mlp_a: vec![layer(n, hidden, 0.11), layer(hidden, hidden, 0.07)],
+            mlp_x: vec![layer(f, hidden, 0.09), layer(hidden, hidden, 0.05)],
+            mlp_h: vec![layer(hidden, classes, 0.13)],
+        };
+        let features = DenseMatrix::from_fn(n, f, |i, j| ((i * 7 + j) % 5) as f32 * 0.3 - 0.6);
+        let adjacency = CsrMatrix::from_triplets(
+            n,
+            n,
+            &(0..n)
+                .flat_map(|i| [(i, (i + 1) % n, 1.0f32), ((i + 1) % n, i, 1.0f32)])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let full = compute_embeddings(&model, &features, &adjacency).unwrap();
+        let rows = [0usize, 3, 4, 11];
+        let sliced = compute_embeddings_rows(&model, &features, &adjacency, &rows).unwrap();
+        assert_eq!(sliced.shape(), (rows.len(), classes));
+        for (i, &r) in rows.iter().enumerate() {
+            let full_bits: Vec<u32> = full.row(r).iter().map(|v| v.to_bits()).collect();
+            let sliced_bits: Vec<u32> = sliced.row(i).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(full_bits, sliced_bits, "H row {r} is not bitwise equal");
         }
     }
 

@@ -62,9 +62,9 @@ mod forward;
 mod snapshot;
 
 pub use cache::LruCache;
-pub use engine::{EngineConfig, EngineStats, InferenceEngine, Prediction};
+pub use engine::{EngineConfig, EngineRepair, EngineStats, InferenceEngine, Prediction};
 pub use error::ServeError;
-pub use forward::{compute_embeddings, mlp_infer_dense, mlp_infer_sparse};
+pub use forward::{compute_embeddings, compute_embeddings_rows, mlp_infer_dense, mlp_infer_sparse};
 pub use snapshot::{ServeSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 /// Crate-wide result alias.

@@ -1,0 +1,240 @@
+//! Edge-case tests for `EngineStats` accounting and cache epoching: repair
+//! invalidation must count exactly the affected set, repairs must keep
+//! unaffected cache entries while operator installs drop everything, and a
+//! concurrent in-flight query must never cache a row across an operator
+//! swap (regression test for the operator-epoch guard).
+
+use sigma_serve::{EngineConfig, InferenceEngine, ServeSnapshot};
+use sigma_simrank::EdgeUpdate;
+use sigma_testutil::{random_graph, serving_fixture};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A `(u, v)` pair that is definitely not an edge of `graph` yet.
+fn absent_edge(graph: &sigma_graph::Graph) -> (usize, usize) {
+    for u in 0..graph.num_nodes() {
+        for v in (u + 2)..graph.num_nodes() {
+            if !graph.has_edge(u, v) {
+                return (u, v);
+            }
+        }
+    }
+    panic!("graph is complete");
+}
+
+fn engine_with_full_cache(snapshot: &ServeSnapshot) -> InferenceEngine {
+    let n = snapshot.num_nodes();
+    let engine = InferenceEngine::new(
+        snapshot,
+        EngineConfig {
+            cache_capacity: n,
+            workers: 0,
+            max_chunk: 256,
+        },
+    )
+    .expect("engine");
+    let all: Vec<usize> = (0..n).collect();
+    let _ = engine.predict_batch(&all).expect("warm-up");
+    assert_eq!(engine.cached_rows(), n, "cache must start fully warm");
+    engine
+}
+
+#[test]
+fn repair_invalidation_counts_exactly_the_affected_set() {
+    let graph = random_graph(22, 14, 31);
+    let mut fixture = serving_fixture(&graph, 5, 31);
+    let engine = engine_with_full_cache(&fixture.snapshot);
+    let n = graph.num_nodes();
+
+    let (a, b) = absent_edge(&graph);
+    fixture
+        .maintainer
+        .apply(EdgeUpdate::Insert(a, b))
+        .expect("edit");
+    let before = engine.stats();
+    let repair = engine.repair_from(&mut fixture.maintainer).expect("repair");
+    let after = engine.stats();
+
+    assert!(!repair.full_refresh);
+    assert!(!repair.invalidated_rows.is_empty());
+    // With a fully warm cache, every invalidation candidate evicts a row:
+    // the counter must match the reported set exactly — no more, no less.
+    assert_eq!(
+        after.rows_invalidated - before.rows_invalidated,
+        repair.invalidated_rows.len() as u64
+    );
+    assert_eq!(
+        after.rows_repaired - before.rows_repaired,
+        repair.operator_rows.len() as u64
+    );
+    assert_eq!(
+        after.embedding_rows_repaired - before.embedding_rows_repaired,
+        repair.embedding_rows.len() as u64
+    );
+    assert_eq!(after.operator_repairs, before.operator_repairs + 1);
+    assert_eq!(after.operator_refreshes, before.operator_refreshes);
+    // The evicted rows are gone from the cache; everything else survived.
+    assert_eq!(engine.cached_rows(), n - repair.invalidated_rows.len());
+    // Both endpoints of the edit had their adjacency (hence H) rows redone.
+    assert_eq!(repair.embedding_rows, vec![a, b]);
+    // Repair leaves the engine fully consistent: nothing is stale.
+    assert!(engine.stale_nodes().is_empty());
+}
+
+#[test]
+fn install_operator_drops_the_whole_cache_while_repair_does_not() {
+    // Large and sparse enough that one edit's repair region is a small
+    // fraction of the graph.
+    let graph = random_graph(60, 8, 77);
+    let mut fixture = serving_fixture(&graph, 4, 77);
+    let engine = engine_with_full_cache(&fixture.snapshot);
+    let n = graph.num_nodes();
+
+    fixture
+        .maintainer
+        .apply(EdgeUpdate::Delete(0, 1))
+        .expect("edit");
+    let repair = engine.repair_from(&mut fixture.maintainer).expect("repair");
+    assert!(repair.invalidated_rows.len() < n, "repair must be targeted");
+    assert!(engine.cached_rows() > 0, "repair must keep unaffected rows");
+
+    // The blunt path: a whole-operator install clears everything.
+    let operator = engine.operator().expect("fixture engine carries S");
+    engine.install_operator(operator).expect("install");
+    assert_eq!(engine.cached_rows(), 0);
+    assert_eq!(engine.stats().operator_refreshes, 1);
+}
+
+#[test]
+fn repair_on_an_operatorless_engine_patches_embeddings_only() {
+    let graph = random_graph(16, 8, 13);
+    let mut fixture = serving_fixture(&graph, 4, 13);
+    // Strip the operator: the engine serves Ẑ = H ("SIGMA w/o S").
+    let mut model = fixture.snapshot.model.clone();
+    model.operator = None;
+    model.aggregator = sigma::AggregatorKind::None;
+    let snapshot = ServeSnapshot::new(
+        "operator-less",
+        model,
+        fixture.snapshot.features.clone(),
+        fixture.snapshot.adjacency.clone(),
+    )
+    .expect("snapshot");
+    let engine = engine_with_full_cache(&snapshot);
+    assert!(engine.operator().is_none());
+
+    let (a, b) = absent_edge(&graph);
+    fixture
+        .maintainer
+        .apply(EdgeUpdate::Insert(a, b))
+        .expect("edit");
+    let repair = engine.repair_from(&mut fixture.maintainer).expect("repair");
+    assert!(repair.operator_rows.is_empty());
+    assert_eq!(repair.embedding_rows, vec![a, b]);
+    // Without an operator a cached row is H itself: exactly the re-encoded
+    // nodes are invalidated.
+    assert_eq!(repair.invalidated_rows, vec![a, b]);
+
+    // The patched H rows must equal a from-scratch engine's on the edited
+    // graph, bitwise.
+    let reference_model = snapshot.model.clone();
+    let reference = InferenceEngine::new(
+        &ServeSnapshot::new(
+            "operator-less-ref",
+            reference_model,
+            snapshot.features.clone(),
+            fixture.maintainer.graph().to_adjacency(),
+        )
+        .expect("reference snapshot"),
+        EngineConfig::default(),
+    )
+    .expect("reference engine");
+    for node in 0..graph.num_nodes() {
+        let inc = engine.predict(node).expect("incremental");
+        let fresh = reference.predict(node).expect("reference");
+        let inc_bits: Vec<u32> = inc.logits.iter().map(|v| v.to_bits()).collect();
+        let fresh_bits: Vec<u32> = fresh.logits.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(inc_bits, fresh_bits, "H patch diverged at node {node}");
+    }
+}
+
+#[test]
+fn in_flight_queries_never_cache_rows_across_an_operator_swap() {
+    // Regression stress for the operator-epoch guard: a batch that computed
+    // its rows against operator A must not insert them into the cache after
+    // a swap to operator B cleared it. A stale cached row would surface as
+    // a wrong answer on the next (cache-hitting) query.
+    let graph = random_graph(24, 16, 99);
+    let fixture = serving_fixture(&graph, 5, 99);
+    let n = graph.num_nodes();
+    let engine = Arc::new(
+        InferenceEngine::new(
+            &fixture.snapshot,
+            EngineConfig {
+                cache_capacity: n,
+                workers: 0,
+                max_chunk: 8, // small chunks: many lock acquisitions per batch
+            },
+        )
+        .expect("engine"),
+    );
+    let operator_a = engine.operator().expect("initial operator");
+    let mut operator_b = operator_a.clone();
+    operator_b.scale(0.5); // same sparsity, different values
+
+    // Reference engines for both operators, never mutated.
+    let reference = |operator: sigma_matrix::CsrMatrix| {
+        let mut model = fixture.snapshot.model.clone();
+        model.operator = Some(operator);
+        let snapshot = ServeSnapshot::new(
+            "swap-reference",
+            model,
+            fixture.snapshot.features.clone(),
+            fixture.snapshot.adjacency.clone(),
+        )
+        .expect("reference snapshot");
+        InferenceEngine::new(&snapshot, EngineConfig::default()).expect("reference engine")
+    };
+    let reference_a = reference(operator_a.clone());
+    let reference_b = reference(operator_b.clone());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let querier = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let all: Vec<usize> = (0..n).collect();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let _ = engine.predict_batch(&all).expect("concurrent query");
+            }
+        })
+    };
+
+    for round in 0..40 {
+        let (operator, reference) = if round % 2 == 0 {
+            (operator_b.clone(), &reference_b)
+        } else {
+            (operator_a.clone(), &reference_a)
+        };
+        engine.install_operator(operator).expect("swap");
+        // Whatever the in-flight batch does, every answer served from here
+        // on (cached or not) must match the freshly installed operator.
+        let served = engine
+            .predict_batch(&(0..n).collect::<Vec<_>>())
+            .expect("verification query");
+        let expected = reference
+            .predict_batch(&(0..n).collect::<Vec<_>>())
+            .expect("reference query");
+        for (got, want) in served.iter().zip(expected.iter()) {
+            let got_bits: Vec<u32> = got.logits.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.logits.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                got_bits, want_bits,
+                "round {round}: node {} served from a row cached across the swap",
+                got.node
+            );
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    querier.join().expect("querier thread");
+}

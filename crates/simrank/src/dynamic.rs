@@ -22,6 +22,7 @@
 //! differential push machinery.
 
 use crate::fxhash::FxHashSet;
+use crate::incremental::DecomposedScores;
 use crate::localpush::LocalPush;
 use crate::{Result, SimRankConfig, SimRankError, SparseScores};
 use sigma_graph::Graph;
@@ -36,6 +37,44 @@ pub enum EdgeUpdate {
     Delete(usize, usize),
 }
 
+/// What [`DynamicSimRank::repair`] patched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreRepair {
+    /// Score/operator rows whose values were re-assembled (sorted). Rows
+    /// outside this set are provably unchanged.
+    pub changed_rows: Vec<usize>,
+    /// Nodes whose adjacency actually changed since the last refresh or
+    /// repair (sorted) — the rows of `A` (and hence of the serving-side
+    /// embedding `H`) a consumer must recompute.
+    pub edited_nodes: Vec<usize>,
+    /// Number of seed push processes that were re-run.
+    pub dirty_seeds: usize,
+    /// Residual absorptions performed by the re-pushed seeds.
+    pub pushes: usize,
+}
+
+impl ScoreRepair {
+    fn empty() -> Self {
+        Self {
+            changed_rows: Vec::new(),
+            edited_nodes: Vec::new(),
+            dirty_seeds: 0,
+            pushes: 0,
+        }
+    }
+}
+
+/// How [`DynamicSimRank::repair`] brought the scores up to date.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// No prior decomposition existed, so a full (decomposed) recomputation
+    /// ran; every row may have changed.
+    FullRefresh,
+    /// Only the reported rows were re-assembled; the result is bitwise
+    /// identical to what a full refresh would have produced.
+    Patched(ScoreRepair),
+}
+
 /// Maintains a graph together with a lazily refreshed SimRank operator.
 #[derive(Debug)]
 pub struct DynamicSimRank {
@@ -48,10 +87,20 @@ pub struct DynamicSimRank {
     /// Nodes whose rows may be stale (endpoints of edits and their
     /// neighbours at edit time).
     affected: FxHashSet<u32>,
+    /// Endpoints whose adjacency actually changed since the last refresh or
+    /// repair — the dirtiness source for incremental repair.
+    edited: FxHashSet<u32>,
+    /// Seed-decomposed computation behind `cached`, patched by `repair`.
+    decomposed: Option<DecomposedScores>,
     /// Cached scores from the last refresh (`None` until first computed).
     cached: Option<SparseScores>,
+    /// Top-k materialisation of `cached`, built lazily and row-patched by
+    /// `repair`.
+    operator_cache: Option<CsrMatrix>,
     /// Number of full recomputations performed so far.
     refreshes: usize,
+    /// Number of incremental repairs performed so far.
+    repairs: usize,
 }
 
 impl DynamicSimRank {
@@ -65,8 +114,12 @@ impl DynamicSimRank {
             staleness_budget,
             pending_edits: 0,
             affected: FxHashSet::default(),
+            edited: FxHashSet::default(),
+            decomposed: None,
             cached: None,
+            operator_cache: None,
             refreshes: 0,
+            repairs: 0,
         })
     }
 
@@ -85,9 +138,30 @@ impl DynamicSimRank {
         self.refreshes
     }
 
-    /// Nodes whose score rows may be stale, sorted by id.
+    /// Number of incremental repairs performed so far.
+    pub fn repairs(&self) -> usize {
+        self.repairs
+    }
+
+    /// Nodes whose score rows may be stale: endpoints of edits since the
+    /// last refresh/repair plus their neighbourhoods at edit time.
+    ///
+    /// Contract (pinned by a unit test): the result is sorted ascending and
+    /// duplicate-free, even when several edits overlap or both endpoints of
+    /// an edit share neighbours.
     pub fn affected_nodes(&self) -> Vec<usize> {
         let mut out: Vec<usize> = self.affected.iter().map(|&v| v as usize).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Nodes whose adjacency actually changed since the last refresh or
+    /// repair, sorted ascending. Unlike [`DynamicSimRank::affected_nodes`]
+    /// this excludes no-op edits (duplicate inserts, missing deletes) and
+    /// untouched neighbours — it is the exact dirtiness source incremental
+    /// repair works from.
+    pub fn edited_nodes(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.edited.iter().map(|&v| v as usize).collect();
         out.sort_unstable();
         out
     }
@@ -105,19 +179,29 @@ impl DynamicSimRank {
                 num_nodes: n,
             });
         }
+        // No-op edits (duplicate inserts, self-loops, missing deletes) leave
+        // the topology — and therefore the scores — untouched; record
+        // nothing so they neither burn staleness budget nor dirty repairs.
+        let changes = if insert {
+            u != v && !self.graph.has_edge(u, v)
+        } else {
+            self.graph.has_edge(u, v)
+        };
+        if !changes {
+            return Ok(());
+        }
         // Mark the endpoints and their current neighbourhoods stale *before*
         // rebuilding, so deletions also record the old neighbours.
         for &endpoint in &[u, v] {
             self.affected.insert(endpoint as u32);
+            self.edited.insert(endpoint as u32);
             for &w in self.graph.neighbors(endpoint) {
                 self.affected.insert(w);
             }
         }
         let mut edges: Vec<(usize, usize)> = self.graph.edges().collect();
         if insert {
-            if u != v && !self.graph.has_edge(u, v) {
-                edges.push((u, v));
-            }
+            edges.push((u, v));
         } else {
             edges.retain(|&(a, b)| !((a == u && b == v) || (a == v && b == u)));
         }
@@ -140,14 +224,66 @@ impl DynamicSimRank {
         self.cached.is_none() || self.pending_edits > self.staleness_budget
     }
 
-    /// Forces an immediate recomputation regardless of the staleness budget.
+    /// Forces an immediate full recomputation regardless of the staleness
+    /// budget. Runs the seed-decomposed solver so the result is incrementally
+    /// repairable by [`DynamicSimRank::repair`].
     pub fn refresh(&mut self) -> Result<()> {
-        let scores = LocalPush::new(&self.graph, self.config)?.run();
-        self.cached = Some(scores);
+        let decomposed = LocalPush::new(&self.graph, self.config)?.run_decomposed();
+        self.cached = Some(decomposed.assemble());
+        self.decomposed = Some(decomposed);
+        self.operator_cache = None;
         self.pending_edits = 0;
         self.affected.clear();
+        self.edited.clear();
         self.refreshes += 1;
         Ok(())
+    }
+
+    /// Incrementally brings the cached scores and operator up to date with
+    /// the current graph, re-pushing only the seeds the edits since the last
+    /// refresh/repair can influence.
+    ///
+    /// The patched state is **bitwise identical** to what a full
+    /// [`DynamicSimRank::refresh`] would produce — the differential harness
+    /// in `sigma-testutil` holds this to random edit traces — while the work
+    /// scales with the edited region instead of the whole graph. Falls back
+    /// to a full refresh when nothing has been computed yet.
+    pub fn repair(&mut self) -> Result<RepairOutcome> {
+        if self.decomposed.is_none() {
+            self.refresh()?;
+            return Ok(RepairOutcome::FullRefresh);
+        }
+        if self.edited.is_empty() {
+            self.pending_edits = 0;
+            self.affected.clear();
+            return Ok(RepairOutcome::Patched(ScoreRepair::empty()));
+        }
+        let edited = self.edited_nodes();
+        let mut solver = LocalPush::new(&self.graph, self.config)?;
+        let decomposed = self
+            .decomposed
+            .as_mut()
+            .expect("checked above: decomposition exists");
+        let report = solver.repair(decomposed, &edited)?;
+        let cached = self
+            .cached
+            .as_mut()
+            .expect("a decomposition is always assembled into cached scores");
+        decomposed.assemble_rows_into(cached, &report.changed_rows);
+        if let Some(operator) = &self.operator_cache {
+            let patch = cached.rows_to_csr(&report.changed_rows, self.config.top_k);
+            self.operator_cache = Some(operator.replace_rows(&report.changed_rows, &patch)?);
+        }
+        self.pending_edits = 0;
+        self.affected.clear();
+        self.edited.clear();
+        self.repairs += 1;
+        Ok(RepairOutcome::Patched(ScoreRepair {
+            changed_rows: report.changed_rows,
+            edited_nodes: edited,
+            dirty_seeds: report.dirty_seeds.len(),
+            pushes: report.pushes,
+        }))
     }
 
     /// Returns the (possibly slightly stale) scores, refreshing them first if
@@ -160,10 +296,42 @@ impl DynamicSimRank {
     }
 
     /// Materialises the current top-k aggregation operator (refreshing lazily
-    /// like [`DynamicSimRank::scores`]).
+    /// like [`DynamicSimRank::scores`]). The materialisation is cached and
+    /// row-patched by [`DynamicSimRank::repair`], so repeated queries between
+    /// edits are cheap.
     pub fn operator(&mut self) -> Result<CsrMatrix> {
-        let top_k = self.config.top_k;
-        Ok(self.scores()?.to_csr(top_k))
+        if self.needs_refresh() {
+            self.refresh()?;
+        }
+        if self.operator_cache.is_none() {
+            let scores = self.cached.as_ref().expect("refresh populates the cache");
+            self.operator_cache = Some(scores.to_csr(self.config.top_k));
+        }
+        Ok(self
+            .operator_cache
+            .clone()
+            .expect("materialised immediately above"))
+    }
+
+    /// Materialises the top-k operator rows for the listed score rows as a
+    /// `rows.len() × n` CSR patch against the *current* cached scores —
+    /// the row payload consumers splice in with `CsrMatrix::replace_rows`
+    /// after a [`DynamicSimRank::repair`].
+    pub fn operator_rows(&mut self, rows: &[usize]) -> Result<CsrMatrix> {
+        let n = self.graph.num_nodes();
+        for &row in rows {
+            if row >= n {
+                return Err(SimRankError::NodeOutOfBounds {
+                    node: row,
+                    num_nodes: n,
+                });
+            }
+        }
+        if self.cached.is_none() {
+            self.refresh()?;
+        }
+        let scores = self.cached.as_ref().expect("refresh populates the cache");
+        Ok(scores.rows_to_csr(rows, self.config.top_k))
     }
 }
 
@@ -255,6 +423,111 @@ mod tests {
         dyn_sim.apply(EdgeUpdate::Insert(0, 1)).unwrap(); // already present
         dyn_sim.apply(EdgeUpdate::Delete(3, 9)).unwrap(); // not present
         assert_eq!(dyn_sim.graph().num_edges(), edges_before);
+        // No-op edits leave no trace: no staleness burnt, nothing to repair.
+        assert_eq!(dyn_sim.pending_edits(), 0);
+        assert!(dyn_sim.affected_nodes().is_empty());
+        assert!(dyn_sim.edited_nodes().is_empty());
+    }
+
+    #[test]
+    fn affected_nodes_are_sorted_and_duplicate_free() {
+        // Insert (0, 2) on the 12-ring: the endpoints share neighbour 1, and
+        // a second overlapping edit repeats several nodes. The contract is
+        // that `affected_nodes` reports each node once, sorted ascending.
+        let mut dyn_sim = maintainer(10);
+        dyn_sim.apply(EdgeUpdate::Insert(0, 2)).unwrap();
+        let affected = dyn_sim.affected_nodes();
+        assert_eq!(affected, vec![0, 1, 2, 3, 11]);
+        dyn_sim.apply(EdgeUpdate::Insert(1, 3)).unwrap();
+        let affected = dyn_sim.affected_nodes();
+        assert!(affected.windows(2).all(|w| w[0] < w[1]), "{affected:?}");
+        assert_eq!(affected, vec![0, 1, 2, 3, 4, 11]);
+        let edited = dyn_sim.edited_nodes();
+        assert!(edited.windows(2).all(|w| w[0] < w[1]), "{edited:?}");
+        assert_eq!(edited, vec![0, 1, 2, 3]);
+    }
+
+    fn scores_bits(s: &SparseScores) -> Vec<Vec<(usize, u32)>> {
+        (0..s.num_nodes())
+            .map(|u| {
+                let mut row: Vec<(usize, u32)> = s.row(u).map(|(v, x)| (v, x.to_bits())).collect();
+                row.sort_unstable();
+                row
+            })
+            .collect()
+    }
+
+    #[test]
+    fn repair_is_bitwise_identical_to_refresh() {
+        let mut incremental = maintainer(100);
+        let _ = incremental.operator().unwrap(); // initial decomposition
+        let updates = [
+            EdgeUpdate::Insert(0, 6),
+            EdgeUpdate::Delete(3, 4),
+            EdgeUpdate::Insert(2, 9),
+        ];
+        incremental.apply_batch(&updates).unwrap();
+        let outcome = incremental.repair().unwrap();
+        let repair = match outcome {
+            RepairOutcome::Patched(r) => r,
+            other => panic!("expected a patch, got {other:?}"),
+        };
+        assert!(!repair.changed_rows.is_empty());
+        assert_eq!(repair.edited_nodes, vec![0, 2, 3, 4, 6, 9]);
+        assert_eq!(incremental.repairs(), 1);
+        assert_eq!(incremental.pending_edits(), 0);
+
+        // A maintainer that takes the full-refresh road instead.
+        let mut full = maintainer(100);
+        full.apply_batch(&updates).unwrap();
+        full.refresh().unwrap();
+        assert_eq!(
+            scores_bits(incremental.scores().unwrap()),
+            scores_bits(full.scores().unwrap())
+        );
+        assert_eq!(incremental.operator().unwrap(), full.operator().unwrap());
+    }
+
+    #[test]
+    fn delete_then_readd_repairs_back_to_the_original_state() {
+        let mut dyn_sim = maintainer(100);
+        let original = dyn_sim.operator().unwrap();
+        dyn_sim.apply(EdgeUpdate::Delete(0, 1)).unwrap();
+        dyn_sim.apply(EdgeUpdate::Insert(0, 1)).unwrap();
+        let outcome = dyn_sim.repair().unwrap();
+        match outcome {
+            // The net topology is unchanged, so the re-pushed seeds land on
+            // identical values and the operator round-trips bitwise.
+            RepairOutcome::Patched(repair) => assert_eq!(repair.edited_nodes, vec![0, 1]),
+            other => panic!("expected a patch, got {other:?}"),
+        }
+        assert_eq!(dyn_sim.operator().unwrap(), original);
+    }
+
+    #[test]
+    fn repair_without_prior_state_is_a_full_refresh() {
+        let mut dyn_sim = maintainer(5);
+        assert_eq!(dyn_sim.repair().unwrap(), RepairOutcome::FullRefresh);
+        assert_eq!(dyn_sim.refreshes(), 1);
+        // And with no pending edits it degenerates to an empty patch.
+        match dyn_sim.repair().unwrap() {
+            RepairOutcome::Patched(repair) => {
+                assert!(repair.changed_rows.is_empty());
+                assert_eq!(repair.dirty_seeds, 0);
+            }
+            other => panic!("expected an empty patch, got {other:?}"),
+        }
+        assert_eq!(dyn_sim.refreshes(), 1);
+    }
+
+    #[test]
+    fn operator_rows_match_the_full_materialisation() {
+        let mut dyn_sim = maintainer(5);
+        let full = dyn_sim.operator().unwrap();
+        let rows = [1usize, 4, 7];
+        let slice = dyn_sim.operator_rows(&rows).unwrap();
+        assert_eq!(slice, full.gather_rows(&rows).unwrap());
+        assert!(dyn_sim.operator_rows(&[99]).is_err());
     }
 
     #[test]

@@ -40,15 +40,17 @@ mod dynamic;
 mod error;
 mod exact;
 pub mod fxhash;
+mod incremental;
 mod localpush;
 mod pairwise;
 mod power;
 pub mod ppr;
 
 pub use config::SimRankConfig;
-pub use dynamic::{DynamicSimRank, EdgeUpdate};
+pub use dynamic::{DynamicSimRank, EdgeUpdate, RepairOutcome, ScoreRepair};
 pub use error::SimRankError;
 pub use exact::{exact_simrank, exact_simrank_iterations};
+pub use incremental::{DecomposedScores, RepairReport, SeedRun};
 pub use localpush::{LocalPush, SparseScores};
 pub use pairwise::pairwise_walk_simrank;
 pub use power::power_iteration_simrank;

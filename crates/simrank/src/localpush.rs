@@ -51,6 +51,7 @@
 //! bounds carry over unchanged.
 
 use crate::fxhash::{pair_key, FxHashMap};
+use crate::incremental::{DecomposedScores, RepairReport, SeedRun};
 use crate::{Result, SimRankConfig};
 use sigma_graph::Graph;
 use sigma_matrix::CsrMatrix;
@@ -64,8 +65,14 @@ pub struct SparseScores {
     rows: Vec<FxHashMap<u32, f32>>,
 }
 
+/// Fraction of a row's largest off-diagonal score below which entries are
+/// pruned (the density-robust counterpart of Algorithm 1's `ε/10` floor).
+/// Shared by the coupled run, the seed-decomposed run, and incremental
+/// repair so every path prunes identically.
+pub(crate) const RELATIVE_PRUNE_FRACTION: f32 = 0.01;
+
 impl SparseScores {
-    fn new(num_nodes: usize) -> Self {
+    pub(crate) fn new(num_nodes: usize) -> Self {
         Self {
             num_nodes,
             rows: vec![FxHashMap::default(); num_nodes],
@@ -107,35 +114,108 @@ impl SparseScores {
     /// largest off-diagonal score. Diagonal entries are always kept. This is
     /// the density-robust counterpart of Algorithm 1's absolute `ε/10` floor.
     pub fn prune_relative(&mut self, fraction: f32) {
-        for (u, row) in self.rows.iter_mut().enumerate() {
-            let row_max = row
-                .iter()
-                .filter(|(&v, _)| v as usize != u)
-                .map(|(_, &s)| s)
-                .fold(0.0f32, f32::max);
-            if row_max <= 0.0 {
-                continue;
-            }
-            let floor = fraction * row_max;
-            row.retain(|&v, s| v as usize == u || *s >= floor);
+        for u in 0..self.num_nodes {
+            Self::prune_row_relative(u, &mut self.rows[u], fraction);
         }
+    }
+
+    /// Applies the relative pruning rule to the listed rows only (the
+    /// incremental-repair path, where untouched rows are already pruned).
+    pub(crate) fn prune_rows_relative(&mut self, rows: &[usize], fraction: f32) {
+        for &u in rows {
+            Self::prune_row_relative(u, &mut self.rows[u], fraction);
+        }
+    }
+
+    /// Per-row body of [`SparseScores::prune_relative`]. Every aggregate it
+    /// computes (the max, the retain predicate) is order-independent, so the
+    /// outcome is a pure function of the row's contents.
+    fn prune_row_relative(u: usize, row: &mut FxHashMap<u32, f32>, fraction: f32) {
+        let row_max = row
+            .iter()
+            .filter(|(&v, _)| v as usize != u)
+            .map(|(_, &s)| s)
+            .fold(0.0f32, f32::max);
+        if row_max <= 0.0 {
+            return;
+        }
+        let floor = fraction * row_max;
+        row.retain(|&v, s| v as usize == u || *s >= floor);
     }
 
     /// Materialises the scores as a CSR operator, optionally keeping only the
     /// `k` largest entries per row. This is SIGMA's aggregation matrix `S`.
+    ///
+    /// Rows are materialised in parallel over disjoint row ranges on the
+    /// shared [`sigma_parallel::ThreadPool`] and concatenated in range order;
+    /// top-k ties break towards the smaller column index. Both make the
+    /// operator a pure function of the scores — independent of thread count
+    /// and of hash-map iteration order — which is what lets incremental
+    /// repair patch individual rows bitwise-identically to a full rebuild.
     pub fn to_csr(&self, top_k: Option<usize>) -> CsrMatrix {
-        let mut indptr = Vec::with_capacity(self.num_nodes + 1);
+        let rows: Vec<usize> = (0..self.num_nodes).collect();
+        self.rows_to_csr(&rows, top_k)
+    }
+
+    /// Materialises the selected score rows as a `rows.len() × n` CSR slice
+    /// (the `i`-th output row is score row `rows[i]`, top-k pruned exactly
+    /// like [`SparseScores::to_csr`]). This is the patch-building primitive
+    /// of incremental repair: combined with
+    /// [`CsrMatrix::replace_rows`] it re-materialises only the
+    /// rows an edit actually changed.
+    ///
+    /// # Panics
+    /// Panics if any selected row is out of bounds.
+    pub fn rows_to_csr(&self, rows: &[usize], top_k: Option<usize>) -> CsrMatrix {
+        let work: usize = rows.iter().map(|&u| self.rows[u].len()).sum();
+        let pool = ThreadPool::global();
+        let parts = if rows.len() > 1 && pool.should_parallelize(work) {
+            pool.par_map_ranges(rows.len(), |range| {
+                self.materialise_rows(&rows[range], top_k)
+            })
+        } else {
+            vec![self.materialise_rows(rows, top_k)]
+        };
+        let total_nnz: usize = parts.iter().map(|(_, idx, _)| idx.len()).sum();
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
         indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::with_capacity(total_nnz);
+        let mut values: Vec<f32> = Vec::with_capacity(total_nnz);
+        for (row_nnz, part_indices, part_values) in parts {
+            let base = indices.len();
+            for nnz in row_nnz {
+                indptr.push(base + nnz);
+            }
+            indices.extend(part_indices);
+            values.extend(part_values);
+        }
+        CsrMatrix::from_raw(rows.len(), self.num_nodes, indptr, indices, values)
+            .expect("scores produce a valid CSR layout")
+    }
+
+    /// Materialises one batch of rows; concatenated in range order by
+    /// [`SparseScores::rows_to_csr`].
+    fn materialise_rows(
+        &self,
+        rows: &[usize],
+        top_k: Option<usize>,
+    ) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+        let mut row_nnz = Vec::with_capacity(rows.len());
         let mut indices: Vec<u32> = Vec::new();
         let mut values: Vec<f32> = Vec::new();
         let mut row_buf: Vec<(u32, f32)> = Vec::new();
-        for u in 0..self.num_nodes {
+        for &u in rows {
             row_buf.clear();
             row_buf.extend(self.rows[u].iter().map(|(&v, &s)| (v, s)));
             if let Some(k) = top_k {
                 if row_buf.len() > k {
+                    // Canonical selection: score descending, column ascending
+                    // on ties — a total order, so the kept set does not
+                    // depend on the (hash-map) traversal order above.
                     row_buf.sort_unstable_by(|a, b| {
-                        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                        b.1.partial_cmp(&a.1)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.0.cmp(&b.0))
                     });
                     row_buf.truncate(k);
                 }
@@ -145,14 +225,18 @@ impl SparseScores {
                 indices.push(v);
                 values.push(s);
             }
-            indptr.push(indices.len());
+            row_nnz.push(indices.len());
         }
-        CsrMatrix::from_raw(self.num_nodes, self.num_nodes, indptr, indices, values)
-            .expect("scores produce a valid CSR layout")
+        (row_nnz, indices, values)
     }
 
     fn add(&mut self, u: u32, v: u32, value: f32) {
         *self.rows[u as usize].entry(v).or_insert(0.0) += value;
+    }
+
+    /// Replaces row `u` wholesale (the incremental-repair patch path).
+    pub(crate) fn set_row(&mut self, u: usize, row: FxHashMap<u32, f32>) {
+        self.rows[u] = row;
     }
 
     /// The largest stored score in row `u` (0.0 for an empty row), used by
@@ -345,7 +429,7 @@ impl LocalPush {
             }
         }
         // Pruning: drop entries that are trivial relative to their row.
-        scores.prune_relative(0.01);
+        scores.prune_relative(RELATIVE_PRUNE_FRACTION);
         scores
     }
 
@@ -354,6 +438,87 @@ impl LocalPush {
     pub fn run_to_operator(&mut self) -> CsrMatrix {
         let scores = self.run();
         scores.to_csr(self.config.top_k)
+    }
+
+    /// Runs the push process in *seed-decomposed* form: one independent,
+    /// fully serial push per seed pair `(w, w)`, scheduled across the shared
+    /// pool with [`sigma_parallel::ThreadPool::par_map`] and merged in seed
+    /// order.
+    ///
+    /// The decomposition records, per seed, its score contributions and the
+    /// *footprint* of nodes whose adjacency or degree the push process read.
+    /// An edge edit is invisible to every seed whose footprint avoids both
+    /// endpoints, which is what makes [`LocalPush::repair`] exact: re-running
+    /// only the dirty seeds reproduces the full recomputation bit for bit.
+    /// See [`DecomposedScores`] for the maintenance API.
+    ///
+    /// Relative to [`LocalPush::run`] the push threshold is applied per seed
+    /// rather than to the pooled residual, so slightly less mass propagates
+    /// before the residual sweep absorbs it — the same Lemma III.5 work
+    /// bound holds per seed, and the sweep keeps the error one-sided exactly
+    /// as in the coupled run.
+    pub fn run_decomposed(&mut self) -> DecomposedScores {
+        let n = self.graph.num_nodes();
+        let seeds: Vec<u32> = (0..n as u32).collect();
+        let runs =
+            crate::incremental::run_seeds(&self.graph, self.config, self.per_seed_budget(), &seeds);
+        self.pushes_performed = runs.iter().map(SeedRun::pushes).sum();
+        DecomposedScores::new(n, runs)
+    }
+
+    /// Incrementally repairs a decomposition after graph edits, re-pushing
+    /// only from dirty seeds.
+    ///
+    /// `self` must be constructed over the *edited* graph (same node count
+    /// and configuration as the run that produced `prior`), and `affected`
+    /// must contain every node whose adjacency changed since `prior` was
+    /// computed (supersets are allowed and merely repair more). Seeds whose
+    /// recorded footprint avoids all affected nodes provably re-run to the
+    /// identical result, so only the remaining seeds are re-pushed; the
+    /// returned report lists the score rows whose assembled values may have
+    /// changed. After the call `prior` matches what
+    /// [`LocalPush::run_decomposed`] would produce from scratch on the edited
+    /// graph, bit for bit.
+    pub fn repair(
+        &mut self,
+        prior: &mut DecomposedScores,
+        affected: &[usize],
+    ) -> Result<RepairReport> {
+        let n = self.graph.num_nodes();
+        if prior.num_nodes() != n {
+            return Err(crate::SimRankError::NodeOutOfBounds {
+                node: prior.num_nodes(),
+                num_nodes: n,
+            });
+        }
+        for &node in affected {
+            if node >= n {
+                return Err(crate::SimRankError::NodeOutOfBounds { node, num_nodes: n });
+            }
+        }
+        let dirty = prior.dirty_seeds(affected);
+        let dirty_u32: Vec<u32> = dirty.iter().map(|&w| w as u32).collect();
+        let new_runs = crate::incremental::run_seeds(
+            &self.graph,
+            self.config,
+            self.per_seed_budget(),
+            &dirty_u32,
+        );
+        self.pushes_performed = new_runs.iter().map(SeedRun::pushes).sum();
+        let pushes = self.pushes_performed;
+        let changed_rows = prior.replace_seed_runs(&dirty, new_runs);
+        Ok(RepairReport {
+            dirty_seeds: dirty,
+            changed_rows,
+            pushes,
+        })
+    }
+
+    /// Push budget granted to each seed of the decomposed run — derived only
+    /// from `max_pushes` and the node count, so a repair's re-pushed seeds
+    /// are budgeted exactly like the full run's.
+    fn per_seed_budget(&self) -> usize {
+        self.max_pushes.div_ceil(self.graph.num_nodes().max(1))
     }
 }
 

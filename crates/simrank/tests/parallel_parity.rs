@@ -115,6 +115,50 @@ fn localpush_parity_holds_on_irregular_graphs_and_tight_epsilon() {
 }
 
 #[test]
+fn decomposed_run_and_repair_are_bitwise_identical_across_thread_counts() {
+    let g = chorded_ring(120);
+    let cfg = SimRankConfig::default().with_top_k(8);
+
+    // Full decomposed runs at 1 and 4 threads agree bitwise.
+    sigma_parallel::set_global_threads(1);
+    let serial = LocalPush::new(&g, cfg).unwrap().run_decomposed();
+    sigma_parallel::set_global_threads(4);
+    let parallel = LocalPush::new(&g, cfg).unwrap().run_decomposed();
+    assert_scores_bitwise_eq(
+        &serial.assemble(),
+        &parallel.assemble(),
+        "decomposed chorded ring",
+    );
+    assert_eq!(
+        serial.assemble().to_csr(Some(8)),
+        parallel.assemble().to_csr(Some(8)),
+        "decomposed top-k operator"
+    );
+
+    // A repair after an edit agrees bitwise at both widths too.
+    let mut edges: Vec<(usize, usize)> = g.edges().collect();
+    edges.push((0, 60));
+    edges.retain(|&(a, b)| (a.min(b), a.max(b)) != (10, 11));
+    let edited = Graph::from_edges(120, &edges).unwrap();
+    let repaired_at = |threads: usize, mut decomposed: sigma_simrank::DecomposedScores| {
+        sigma_parallel::set_global_threads(threads);
+        let report = LocalPush::new(&edited, cfg)
+            .unwrap()
+            .repair(&mut decomposed, &[0, 60, 10, 11])
+            .unwrap();
+        sigma_parallel::set_global_threads(0);
+        (decomposed.assemble(), report)
+    };
+    let (serial_scores, serial_report) = repaired_at(1, serial);
+    let (parallel_scores, parallel_report) = repaired_at(4, parallel);
+    assert_eq!(serial_report.dirty_seeds, parallel_report.dirty_seeds);
+    assert_eq!(serial_report.changed_rows, parallel_report.changed_rows);
+    assert_eq!(serial_report.pushes, parallel_report.pushes);
+    assert_scores_bitwise_eq(&serial_scores, &parallel_scores, "repaired chorded ring");
+    sigma_parallel::set_global_threads(0);
+}
+
+#[test]
 fn localpush_push_budget_is_thread_count_independent() {
     let g = chorded_ring(150);
     let cfg = SimRankConfig::default();

@@ -133,14 +133,14 @@ proptest! {
             maintainer.apply(update).unwrap();
         }
         // With a zero staleness budget every query refreshes, so the
-        // maintained scores must equal a from-scratch LocalPush run on the
-        // edited graph.
+        // maintained scores must equal a from-scratch run of the maintainer's
+        // (seed-decomposed) solver on the edited graph — bit for bit.
         let edited = maintainer.graph().clone();
         let maintained = maintainer.scores().unwrap();
-        let fresh = LocalPush::new(&edited, cfg).unwrap().run();
+        let fresh = LocalPush::new(&edited, cfg).unwrap().run_decomposed().assemble();
         for u in 0..n {
             for v in 0..n {
-                prop_assert!((maintained.get(u, v) - fresh.get(u, v)).abs() < 1e-6);
+                prop_assert_eq!(maintained.get(u, v).to_bits(), fresh.get(u, v).to_bits());
             }
         }
     }

@@ -1,0 +1,28 @@
+//! # sigma-testutil
+//!
+//! Shared test harnesses for the SIGMA reproduction, centred on the
+//! **differential oracle** that proves incremental operator repair correct:
+//!
+//! * [`generate`] — seeded random graph and edge-edit-trace generators, so
+//!   property tests across crates draw structurally varied inputs from one
+//!   implementation (including the delete-then-readd and no-op edit shapes
+//!   that stress repair bookkeeping);
+//! * [`oracle`] — a serving fixture (graph → trained-shape model snapshot →
+//!   [`sigma_serve::InferenceEngine`] + in-sync
+//!   [`sigma_simrank::DynamicSimRank`]) and [`oracle::replay_differential`],
+//!   which replays an edit trace through (a) from-scratch recomputation and
+//!   (b) incremental repair, asserting after every batch that the operator,
+//!   every served logit, and the cache-hit observability counters are
+//!   **bitwise identical** between the two paths — and that repair touched
+//!   only the rows it reported.
+//!
+//! The crate is a regular (non-dev) dependency of test targets only; it
+//! ships no production code paths.
+
+#![deny(missing_docs)]
+
+pub mod generate;
+pub mod oracle;
+
+pub use generate::{random_graph, random_trace, TraceShape};
+pub use oracle::{replay_differential, serving_fixture, DifferentialReport, ServingFixture};

@@ -1,0 +1,309 @@
+//! The incremental-repair differential oracle.
+//!
+//! [`replay_differential`] is the correctness instrument behind the
+//! "bitwise-identical to a full refresh" contract: it replays an edit trace
+//! batch by batch through two independent paths —
+//!
+//! 1. **incremental**: one long-lived engine + maintainer pair, brought up
+//!    to date after every batch by [`sigma_serve::InferenceEngine::repair_from`];
+//! 2. **reference**: a from-scratch seed-decomposed LocalPush run and a
+//!    freshly built engine on the edited graph —
+//!
+//! and asserts, after every batch, bitwise equality of the aggregation
+//! operator and of every served logit, plus the observability contract:
+//! the rows the repair reported are a superset of the rows that actually
+//! changed, the eviction counters count exactly the reported set, and every
+//! cache entry outside it survives (checked through the cache-hit counters
+//! of a full warm query). Any divergence panics with the offending row.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sigma::{ContextBuilder, ModelHyperParams, SigmaModel};
+use sigma_datasets::Dataset;
+use sigma_graph::Graph;
+use sigma_matrix::{CsrMatrix, DenseMatrix};
+use sigma_serve::{EngineConfig, InferenceEngine, ServeSnapshot};
+use sigma_simrank::{DynamicSimRank, EdgeUpdate, LocalPush, SimRankConfig};
+
+/// A ready-to-serve setup whose engine operator is in sync with its
+/// maintainer — the precondition of [`InferenceEngine::repair_from`].
+pub struct ServingFixture {
+    /// SimRank configuration shared by maintainer and reference runs.
+    pub config: SimRankConfig,
+    /// Self-contained serving artifact (model + features + adjacency).
+    pub snapshot: ServeSnapshot,
+    /// Maintainer whose initial operator the snapshot embeds.
+    pub maintainer: DynamicSimRank,
+}
+
+/// Builds a serving fixture over `graph`: an (untrained, deterministically
+/// initialised) SIGMA model whose aggregation operator comes from a
+/// [`DynamicSimRank`] maintainer over the same graph.
+pub fn serving_fixture(graph: &Graph, top_k: usize, seed: u64) -> ServingFixture {
+    let n = graph.num_nodes();
+    let feature_dim = 6usize;
+    let num_classes = 3usize;
+    let mut feature_rng = StdRng::seed_from_u64(seed ^ 0xfea7);
+    let features = DenseMatrix::from_fn(n, feature_dim, |_, _| feature_rng.gen_range(-1.0f32..1.0));
+    let labels: Vec<usize> = (0..n).map(|i| i % num_classes).collect();
+
+    let config = SimRankConfig::default().with_top_k(top_k);
+    // A huge staleness budget: the oracle exercises the explicit repair
+    // path, never the lazy-refresh fallback.
+    let mut maintainer =
+        DynamicSimRank::new(graph.clone(), config, usize::MAX / 2).expect("valid config");
+    let operator = maintainer.operator().expect("initial operator");
+
+    let dataset = Dataset {
+        name: format!("differential-{seed}"),
+        graph: graph.clone(),
+        features: features.clone(),
+        labels,
+        num_classes,
+    };
+    let ctx = ContextBuilder::new(dataset)
+        .with_simrank_operator(operator)
+        .build()
+        .expect("context over generated dataset");
+    let mut model_rng = StdRng::seed_from_u64(seed);
+    let model = SigmaModel::new(&ctx, &ModelHyperParams::small(), &mut model_rng)
+        .expect("model construction");
+    let snapshot = ServeSnapshot::new(
+        format!("differential-{seed}"),
+        model.snapshot(&ctx).expect("model snapshot"),
+        features,
+        graph.to_adjacency(),
+    )
+    .expect("serve snapshot");
+    ServingFixture {
+        config,
+        snapshot,
+        maintainer,
+    }
+}
+
+/// Aggregate outcome of one differential replay (all assertions passed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DifferentialReport {
+    /// Edit batches replayed.
+    pub rounds: usize,
+    /// Nodes served per round.
+    pub num_nodes: usize,
+    /// Operator rows patched in place across all rounds.
+    pub operator_rows_patched: usize,
+    /// Embedding (`H`) rows re-encoded across all rounds.
+    pub embedding_rows_patched: usize,
+    /// Cache rows evicted by targeted invalidation across all rounds.
+    pub cache_rows_invalidated: usize,
+    /// Residual absorptions the from-scratch reference runs performed (the
+    /// cost incremental repair avoids re-paying).
+    pub full_recompute_pushes: usize,
+}
+
+fn csr_bits(matrix: &CsrMatrix) -> (Vec<usize>, Vec<u32>, Vec<u32>) {
+    (
+        matrix.indptr().to_vec(),
+        matrix.indices().to_vec(),
+        matrix.values().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+fn assert_csr_bitwise_eq(a: &CsrMatrix, b: &CsrMatrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for r in 0..a.rows() {
+        let row_a: Vec<(usize, u32)> = a.row_iter(r).map(|(c, v)| (c, v.to_bits())).collect();
+        let row_b: Vec<(usize, u32)> = b.row_iter(r).map(|(c, v)| (c, v.to_bits())).collect();
+        assert_eq!(row_a, row_b, "{what}: row {r} differs");
+    }
+    assert_eq!(csr_bits(a), csr_bits(b), "{what}: raw CSR layout differs");
+}
+
+/// Replays `batches` through incremental repair and from-scratch reference
+/// recomputation, asserting bitwise equality and repair locality after
+/// every batch. See the module docs for the exact contract. Panics on any
+/// divergence.
+pub fn replay_differential(
+    graph: &Graph,
+    batches: &[Vec<EdgeUpdate>],
+    top_k: usize,
+    seed: u64,
+) -> DifferentialReport {
+    let n = graph.num_nodes();
+    let ServingFixture {
+        config,
+        snapshot,
+        mut maintainer,
+    } = serving_fixture(graph, top_k, seed);
+    let engine_config = EngineConfig {
+        // Room for every row: the hit-counter locality assertions below
+        // need evictions to be attributable to invalidation alone.
+        cache_capacity: n,
+        workers: 0,
+        max_chunk: 256,
+    };
+    let engine = InferenceEngine::new(&snapshot, engine_config).expect("incremental engine");
+    let all_nodes: Vec<usize> = (0..n).collect();
+    // Warm the cache so each round starts with every row resident.
+    let _ = engine.predict_batch(&all_nodes).expect("warm-up query");
+
+    let mut report = DifferentialReport {
+        rounds: 0,
+        num_nodes: n,
+        operator_rows_patched: 0,
+        embedding_rows_patched: 0,
+        cache_rows_invalidated: 0,
+        full_recompute_pushes: 0,
+    };
+
+    for (round, batch) in batches.iter().enumerate() {
+        maintainer.apply_batch(batch).expect("in-bounds edits");
+        let operator_before = engine.operator().expect("fixture engines always carry S");
+
+        let stats_before = engine.stats();
+        let repair = engine
+            .repair_from(&mut maintainer)
+            .expect("incremental repair");
+        let stats_after = engine.stats();
+        assert!(
+            !repair.full_refresh,
+            "round {round}: repair degenerated to a full refresh"
+        );
+        assert_eq!(
+            stats_after.operator_repairs,
+            stats_before.operator_repairs + 1,
+            "round {round}: repair not counted"
+        );
+        assert_eq!(
+            stats_after.rows_repaired - stats_before.rows_repaired,
+            repair.operator_rows.len() as u64,
+            "round {round}: rows_repaired must count exactly the patched set"
+        );
+        assert_eq!(
+            stats_after.embedding_rows_repaired - stats_before.embedding_rows_repaired,
+            repair.embedding_rows.len() as u64,
+            "round {round}: embedding_rows_repaired must count exactly the re-encoded set"
+        );
+        // The cache held every row, so eviction must count exactly the
+        // reported invalidation set — no more (locality), no less
+        // (coverage).
+        assert_eq!(
+            stats_after.rows_invalidated - stats_before.rows_invalidated,
+            repair.invalidated_rows.len() as u64,
+            "round {round}: rows_invalidated must count exactly the affected set"
+        );
+
+        // Reference path: from-scratch recomputation on the edited graph.
+        let edited = maintainer.graph().clone();
+        let mut solver = LocalPush::new(&edited, config).expect("reference solver");
+        let reference_scores = solver.run_decomposed().assemble();
+        report.full_recompute_pushes += solver.pushes_performed();
+        let reference_operator = reference_scores.to_csr(config.top_k);
+        let served_operator = engine.operator().expect("fixture engines always carry S");
+        assert_csr_bitwise_eq(
+            &served_operator,
+            &reference_operator,
+            &format!("round {round}: repaired operator vs from-scratch operator"),
+        );
+
+        // Coverage: every row that actually changed was reported as patched.
+        for r in 0..n {
+            let before: Vec<(usize, u32)> = operator_before
+                .row_iter(r)
+                .map(|(c, v)| (c, v.to_bits()))
+                .collect();
+            let after: Vec<(usize, u32)> = served_operator
+                .row_iter(r)
+                .map(|(c, v)| (c, v.to_bits()))
+                .collect();
+            if before != after {
+                assert!(
+                    repair.operator_rows.binary_search(&r).is_ok(),
+                    "round {round}: operator row {r} changed but was not reported patched"
+                );
+            }
+        }
+
+        // Reference engine: rebuilt from scratch on the edited graph with
+        // the reference operator.
+        let mut reference_model = snapshot.model.clone();
+        reference_model.operator = Some(reference_operator);
+        let reference_snapshot = ServeSnapshot::new(
+            format!("differential-ref-{seed}-{round}"),
+            reference_model,
+            snapshot.features.clone(),
+            edited.to_adjacency(),
+        )
+        .expect("reference snapshot");
+        let reference_engine =
+            InferenceEngine::new(&reference_snapshot, engine_config).expect("reference engine");
+
+        // Served outputs must agree bitwise on every node; this query also
+        // re-warms the incremental engine's cache for the next round.
+        let hits_before = engine.stats();
+        let served = engine.predict_batch(&all_nodes).expect("incremental query");
+        let hits_after = engine.stats();
+        let reference_served = reference_engine
+            .predict_batch(&all_nodes)
+            .expect("reference query");
+        for (inc, fresh) in served.iter().zip(reference_served.iter()) {
+            assert_eq!(inc.node, fresh.node);
+            let inc_bits: Vec<u32> = inc.logits.iter().map(|v| v.to_bits()).collect();
+            let fresh_bits: Vec<u32> = fresh.logits.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                inc_bits, fresh_bits,
+                "round {round}: served logits diverge at node {}",
+                inc.node
+            );
+            assert_eq!(inc.label, fresh.label);
+            assert!(
+                !inc.stale,
+                "round {round}: node {} still stale after repair",
+                inc.node
+            );
+        }
+        // Cache-hit observability: exactly the invalidated rows missed; all
+        // other rows survived the repair in cache.
+        assert_eq!(
+            (hits_after.cache_misses - hits_before.cache_misses) as usize,
+            repair.invalidated_rows.len(),
+            "round {round}: cache misses must equal the invalidated set"
+        );
+        assert_eq!(
+            (hits_after.cache_hits - hits_before.cache_hits) as usize,
+            n - repair.invalidated_rows.len(),
+            "round {round}: rows outside the invalidated set must survive in cache"
+        );
+
+        report.rounds += 1;
+        report.operator_rows_patched += repair.operator_rows.len();
+        report.embedding_rows_patched += repair.embedding_rows.len();
+        report.cache_rows_invalidated += repair.invalidated_rows.len();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_graph, random_trace, TraceShape};
+
+    #[test]
+    fn oracle_passes_on_a_small_trace() {
+        let graph = random_graph(24, 12, 5);
+        let trace = random_trace(&graph, TraceShape::default(), 5);
+        let report = replay_differential(&graph, &trace, 6, 5);
+        assert_eq!(report.rounds, trace.len());
+        assert!(report.operator_rows_patched > 0);
+        assert!(report.full_recompute_pushes > 0);
+    }
+
+    #[test]
+    fn oracle_handles_the_empty_trace() {
+        let graph = random_graph(12, 4, 9);
+        let report = replay_differential(&graph, &[Vec::new()], 4, 9);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.operator_rows_patched, 0);
+        assert_eq!(report.embedding_rows_patched, 0);
+        assert_eq!(report.cache_rows_invalidated, 0);
+    }
+}
