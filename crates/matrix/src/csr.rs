@@ -1,5 +1,12 @@
-use crate::{DenseMatrix, MatrixError, Result};
-use sigma_parallel::ThreadPool;
+use crate::{kernels, DenseMatrix, MatrixError, Result};
+use sigma_parallel::{ScratchPool, ThreadPool};
+
+/// Reused Gustavson working set for [`CsrMatrix::spgemm`]: the dense
+/// accumulator plus the touched-column list. Site invariant: buffers return
+/// to the pool with the accumulator all-zero and the touched list empty, so
+/// a taker only ever pays `resize` (never a full re-zeroing) when the
+/// output width grows.
+static GUSTAVSON_SCRATCH: ScratchPool<(Vec<f32>, Vec<u32>)> = ScratchPool::new();
 
 /// A compressed sparse row (CSR) `f32` matrix.
 ///
@@ -258,10 +265,14 @@ impl CsrMatrix {
 
     /// Sparse × dense product: `self · rhs`.
     ///
-    /// Parallelised over disjoint output-row blocks on the shared pool; each
-    /// output row is produced by exactly one thread with the serial
-    /// accumulation order, so the result is bitwise identical to the serial
-    /// path at every thread count.
+    /// Parallelised over disjoint output-row blocks on the shared pool,
+    /// with the blocks cut to near-equal total **nnz** (the `indptr` prefix
+    /// sums feed [`sigma_parallel::partition_by_prefix`]) so power-law row
+    /// distributions spread evenly across threads. Each output row is
+    /// produced by exactly one thread with the serial accumulation order
+    /// (an 8-lane [`kernels::axpy`] per stored entry — element-wise, hence
+    /// bit-exact), so the result is bitwise identical to the serial path at
+    /// every thread count.
     pub fn spmm(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
         if self.cols != rhs.rows() {
             return Err(MatrixError::DimensionMismatch {
@@ -277,9 +288,14 @@ impl CsrMatrix {
         }
         let pool = ThreadPool::global();
         if pool.should_parallelize(self.nnz().saturating_mul(f)) {
-            pool.par_row_blocks_mut(out.as_mut_slice(), f, |first_row, block| {
-                self.spmm_block(first_row, rhs, block);
-            });
+            pool.par_row_blocks_mut_by_prefix(
+                out.as_mut_slice(),
+                f,
+                &self.indptr,
+                |first_row, block| {
+                    self.spmm_block(first_row, rhs, block);
+                },
+            );
         } else {
             self.spmm_block(0, rhs, out.as_mut_slice());
         }
@@ -296,11 +312,7 @@ impl CsrMatrix {
             let (start, end) = (self.indptr[r], self.indptr[r + 1]);
             for idx in start..end {
                 let c = self.indices[idx] as usize;
-                let v = self.values[idx];
-                let rhs_row = rhs.row(c);
-                for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += v * x;
-                }
+                kernels::axpy(out_row, self.values[idx], rhs.row(c));
             }
         }
     }
@@ -310,8 +322,9 @@ impl CsrMatrix {
     /// The serial path is a scatter over rows of `self`, avoiding an
     /// explicit transpose; used for backpropagation through constant
     /// operators. The parallel path partitions the *output* rows (columns of
-    /// `self`) instead: each thread scans every input row and binary-searches
-    /// the slice of entries landing in its column range, so writes stay
+    /// `self`) instead — cut to near-equal total column nnz by the weighted
+    /// planner: each thread scans every input row and binary-searches the
+    /// window of entries landing in its column range, so writes stay
     /// disjoint. For a fixed output row both paths accumulate contributions
     /// in the same `(input row, entry)` order, making the result bitwise
     /// identical to the serial scatter at every thread count.
@@ -330,40 +343,48 @@ impl CsrMatrix {
         }
         let pool = ThreadPool::global();
         if pool.should_parallelize(self.nnz().saturating_mul(f)) {
-            pool.par_row_blocks_mut(out.as_mut_slice(), f, |first_col, block| {
-                let cols_in_block = block.len() / f;
-                let (c0, c1) = (first_col, first_col + cols_in_block);
-                for r in 0..self.rows {
-                    let (start, end) = (self.indptr[r], self.indptr[r + 1]);
-                    let row_cols = &self.indices[start..end];
-                    // Entries are sorted by column within a row: locate the
-                    // sub-slice that lands in this thread's output range.
-                    let lo = start + row_cols.partition_point(|&c| (c as usize) < c0);
-                    let rhs_row = rhs.row(r);
-                    for idx in lo..end {
-                        let c = self.indices[idx] as usize;
-                        if c >= c1 {
-                            break;
+            // Each output row's work is its *column* count in `self`; one
+            // O(nnz) histogram pass feeds the nnz-balanced planner so a few
+            // super-popular columns do not serialise one thread.
+            let mut col_nnz = vec![0usize; self.cols];
+            for &c in &self.indices {
+                col_nnz[c as usize] += 1;
+            }
+            pool.par_row_blocks_mut_weighted(
+                out.as_mut_slice(),
+                f,
+                &col_nnz,
+                |first_col, block| {
+                    let cols_in_block = block.len() / f;
+                    let (c0, c1) = (first_col, first_col + cols_in_block);
+                    for r in 0..self.rows {
+                        let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+                        let row_cols = &self.indices[start..end];
+                        // Entries are sorted by column within a row: hoist
+                        // the whole column window `[c0, c1)` out of the
+                        // entry loop (two binary searches per row) instead
+                        // of re-testing the upper bound per entry.
+                        let lo = start + row_cols.partition_point(|&c| (c as usize) < c0);
+                        let hi = start + row_cols.partition_point(|&c| (c as usize) < c1);
+                        if lo == hi {
+                            continue;
                         }
-                        let v = self.values[idx];
-                        let out_row = &mut block[(c - c0) * f..(c - c0 + 1) * f];
-                        for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
-                            *o += v * x;
+                        let rhs_row = rhs.row(r);
+                        for idx in lo..hi {
+                            let c = self.indices[idx] as usize;
+                            let out_row = &mut block[(c - c0) * f..(c - c0 + 1) * f];
+                            kernels::axpy(out_row, self.values[idx], rhs_row);
                         }
                     }
-                }
-            });
+                },
+            );
         } else {
             for r in 0..self.rows {
                 let (start, end) = (self.indptr[r], self.indptr[r + 1]);
                 let rhs_row = rhs.row(r);
                 for idx in start..end {
                     let c = self.indices[idx] as usize;
-                    let v = self.values[idx];
-                    let out_row = out.row_mut(c);
-                    for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
-                        *o += v * x;
-                    }
+                    kernels::axpy(out.row_mut(c), self.values[idx], rhs_row);
                 }
             }
         }
@@ -386,26 +407,24 @@ impl CsrMatrix {
             });
         }
         let pool = ThreadPool::global();
-        // Work estimate: flops = Σ_r Σ_{k ∈ row r} nnz(rhs row k) is what the
-        // kernel actually spends; nnz(self) + nnz(rhs) is a cheap stand-in.
+        // Dispatch estimate: nnz(self) + nnz(rhs) is a cheap stand-in for the
+        // true flop count and only gates *whether* to parallelise.
         let parts = if pool.should_parallelize(self.nnz().saturating_add(rhs.nnz())) {
-            pool.par_map_ranges(self.rows, |range| self.spgemm_rows(rhs, range))
+            // Range planning uses the exact per-row cost, flops(r) =
+            // Σ_{k ∈ row r} nnz(rhs row k) — one O(nnz(self)) pass — so one
+            // dense output row cannot serialise a whole thread.
+            let flops: Vec<usize> = (0..self.rows)
+                .map(|r| {
+                    self.row_iter(r)
+                        .map(|(k, _)| rhs.row_nnz(k))
+                        .fold(0usize, usize::saturating_add)
+                })
+                .collect();
+            pool.par_map_ranges_weighted(&flops, |range| self.spgemm_rows(rhs, range))
         } else {
             vec![self.spgemm_rows(rhs, 0..self.rows)]
         };
-        let total_nnz: usize = parts.iter().map(|(_, idx, _)| idx.len()).sum();
-        let mut indptr = Vec::with_capacity(self.rows + 1);
-        indptr.push(0usize);
-        let mut indices: Vec<u32> = Vec::with_capacity(total_nnz);
-        let mut values: Vec<f32> = Vec::with_capacity(total_nnz);
-        for (row_nnz, part_indices, part_values) in parts {
-            let base = indices.len();
-            for nnz in row_nnz {
-                indptr.push(base + nnz);
-            }
-            indices.extend_from_slice(&part_indices);
-            values.extend_from_slice(&part_values);
-        }
+        let (indptr, indices, values) = concat_row_parts(self.rows, parts);
         Ok(CsrMatrix {
             rows: self.rows,
             cols: rhs.cols,
@@ -426,9 +445,16 @@ impl CsrMatrix {
         let mut row_nnz = Vec::with_capacity(range.len());
         let mut indices: Vec<u32> = Vec::new();
         let mut values: Vec<f32> = Vec::new();
-        // Dense accumulator reused across rows (classic Gustavson algorithm).
-        let mut acc = vec![0.0f32; rhs.cols];
-        let mut touched: Vec<u32> = Vec::new();
+        // Dense accumulator reused across rows (classic Gustavson algorithm)
+        // *and* across calls: the scratch pool hands back a buffer that a
+        // previous range left all-zero, so only width growth pays a resize.
+        let mut scratch = GUSTAVSON_SCRATCH.take_or_else(|| (Vec::new(), Vec::new()));
+        let (acc, touched) = &mut *scratch;
+        if acc.len() < rhs.cols {
+            acc.resize(rhs.cols, 0.0);
+        }
+        debug_assert!(acc.iter().all(|&v| v == 0.0), "pooled accumulator dirty");
+        debug_assert!(touched.is_empty(), "pooled touch list dirty");
         for r in range {
             touched.clear();
             for (k, v) in self.row_iter(r) {
@@ -442,7 +468,7 @@ impl CsrMatrix {
                 }
             }
             touched.sort_unstable();
-            for &c in &touched {
+            for &c in touched.iter() {
                 let v = acc[c as usize];
                 if v != 0.0 {
                     indices.push(c);
@@ -452,6 +478,9 @@ impl CsrMatrix {
             }
             row_nnz.push(indices.len());
         }
+        // Pool invariant: the per-row cleanup above left `acc` all-zero;
+        // clear the touch list so the next taker starts clean.
+        touched.clear();
         (row_nnz, indices, values)
     }
 
@@ -497,23 +526,13 @@ impl CsrMatrix {
     pub fn top_k_per_row(&self, k: usize) -> CsrMatrix {
         let pool = ThreadPool::global();
         let parts = if pool.should_parallelize(self.nnz()) {
-            pool.par_map_ranges(self.rows, |range| self.top_k_rows(k, range))
+            // Per-row cost is the row's nnz (the sort dominates); `indptr`
+            // is exactly the prefix sum the nnz-balanced planner wants.
+            pool.par_map_ranges_by_prefix(&self.indptr, |range| self.top_k_rows(k, range))
         } else {
             vec![self.top_k_rows(k, 0..self.rows)]
         };
-        let total_nnz: usize = parts.iter().map(|(_, idx, _)| idx.len()).sum();
-        let mut indptr = Vec::with_capacity(self.rows + 1);
-        indptr.push(0usize);
-        let mut indices: Vec<u32> = Vec::with_capacity(total_nnz);
-        let mut values: Vec<f32> = Vec::with_capacity(total_nnz);
-        for (row_nnz, part_indices, part_values) in parts {
-            let base = indices.len();
-            for nnz in row_nnz {
-                indptr.push(base + nnz);
-            }
-            indices.extend_from_slice(&part_indices);
-            values.extend_from_slice(&part_values);
-        }
+        let (indptr, indices, values) = concat_row_parts(self.rows, parts);
         CsrMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -711,17 +730,17 @@ impl CsrMatrix {
                 let (start, end) = (self.indptr[r], self.indptr[r + 1]);
                 for idx in start..end {
                     let c = self.indices[idx] as usize;
-                    let v = self.values[idx];
-                    let rhs_row = rhs.row(c);
-                    for (o, &x) in out_row.iter_mut().zip(rhs_row.iter()) {
-                        *o += v * x;
-                    }
+                    kernels::axpy(out_row, self.values[idx], rhs.row(c));
                 }
             }
         };
         let pool = ThreadPool::global();
         if pool.should_parallelize(work.saturating_mul(f)) {
-            pool.par_row_blocks_mut(out.as_mut_slice(), f, slice_block);
+            // The planner weights (selected-row nnz) are only materialised
+            // on the parallel path: small serving batches stay serial and
+            // must not pay an allocation for a plan they will not use.
+            let weights: Vec<usize> = rows.iter().map(|&r| self.row_nnz(r)).collect();
+            pool.par_row_blocks_mut_weighted(out.as_mut_slice(), f, &weights, slice_block);
         } else {
             slice_block(0, out.as_mut_slice());
         }
@@ -776,6 +795,43 @@ impl CsrMatrix {
             self.nnz() as f32 / self.rows as f32
         }
     }
+}
+
+/// Concatenates per-row-range CSR fragments — `(cumulative per-row nnz,
+/// indices, values)` triples in range order, as produced by the row-range
+/// materialisers — into one `(indptr, indices, values)` set.
+///
+/// A single part (the serial path, or a one-range plan) is **moved**, not
+/// copied: the hot serial paths of `spgemm` / `top_k_per_row` /
+/// `SparseScores::to_csr` pay no assembly memcpy at all. Multi-part
+/// assembly reserves the exact total and appends in range order, so the
+/// result is identical to the serial construction for any partition.
+pub fn concat_row_parts(
+    rows: usize,
+    parts: Vec<(Vec<usize>, Vec<u32>, Vec<f32>)>,
+) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+    if parts.len() == 1 {
+        let (row_nnz, indices, values) = parts.into_iter().next().expect("one part");
+        debug_assert_eq!(row_nnz.len(), rows, "one cumulative count per row");
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0usize);
+        indptr.extend(row_nnz);
+        return (indptr, indices, values);
+    }
+    let total_nnz: usize = parts.iter().map(|(_, idx, _)| idx.len()).sum();
+    let mut indptr = Vec::with_capacity(rows + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<u32> = Vec::with_capacity(total_nnz);
+    let mut values: Vec<f32> = Vec::with_capacity(total_nnz);
+    for (row_nnz, part_indices, part_values) in parts {
+        let base = indices.len();
+        for nnz in row_nnz {
+            indptr.push(base + nnz);
+        }
+        indices.extend_from_slice(&part_indices);
+        values.extend_from_slice(&part_values);
+    }
+    (indptr, indices, values)
 }
 
 #[cfg(test)]

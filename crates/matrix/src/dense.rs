@@ -1,4 +1,4 @@
-use crate::{MatrixError, Result};
+use crate::{kernels, MatrixError, Result};
 use sigma_parallel::ThreadPool;
 
 /// A row-major dense `f32` matrix.
@@ -287,7 +287,9 @@ impl DenseMatrix {
         }
         let oc = other.cols;
         let block_fn = |first_row: usize, block: &mut [f32]| {
-            // i-k-j loop order: streams through `other` row-by-row for locality.
+            // i-k-j loop order: streams through `other` row-by-row for
+            // locality; the inner update is the 8-lane axpy (element-wise,
+            // bit-exact at any vector width).
             for (i, out_row) in block.chunks_exact_mut(oc).enumerate() {
                 let r = first_row + i;
                 for k in 0..self.cols {
@@ -295,10 +297,7 @@ impl DenseMatrix {
                     if a == 0.0 {
                         continue;
                     }
-                    let b_row = &other.data[k * oc..(k + 1) * oc];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
+                    kernels::axpy(out_row, a, &other.data[k * oc..(k + 1) * oc]);
                 }
             }
         };
@@ -349,9 +348,7 @@ impl DenseMatrix {
                         if a == 0.0 {
                             continue;
                         }
-                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                            *o += a * b;
-                        }
+                        kernels::axpy(out_row, a, b_row);
                     }
                 }
             });
@@ -363,10 +360,7 @@ impl DenseMatrix {
                     if a == 0.0 {
                         continue;
                     }
-                    let out_row = &mut out.data[k * oc..(k + 1) * oc];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
+                    kernels::axpy(&mut out.data[k * oc..(k + 1) * oc], a, b_row);
                 }
             }
         }
@@ -375,8 +369,12 @@ impl DenseMatrix {
 
     /// Returns `self · otherᵀ`. Used for input gradients (`dX = dY·Wᵀ`).
     ///
-    /// Each output row is an independent set of dot products; row blocks run
-    /// in parallel with identical per-element accumulation order.
+    /// Each output row is an independent set of dot products computed with
+    /// [`kernels::dot`] — the canonical 8-lane reduction order, a pure
+    /// function of the operands that is identical at every thread count and
+    /// for every compiler vectorisation choice (it is *not* the historical
+    /// left-to-right sum; see the `kernels` module docs). Row blocks run in
+    /// parallel with identical per-element accumulation order.
     pub fn matmul_transpose_other(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
         if self.cols != other.cols {
             return Err(MatrixError::DimensionMismatch {
@@ -396,11 +394,7 @@ impl DenseMatrix {
                 let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
                 for (j, o) in out_row.iter_mut().enumerate() {
                     let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                        acc += a * b;
-                    }
-                    *o = acc;
+                    *o = kernels::dot(a_row, b_row);
                 }
             }
         };

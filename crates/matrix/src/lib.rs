@@ -33,8 +33,9 @@
 mod csr;
 mod dense;
 mod error;
+pub mod kernels;
 
-pub use csr::CsrMatrix;
+pub use csr::{concat_row_parts, CsrMatrix};
 pub use dense::DenseMatrix;
 pub use error::MatrixError;
 

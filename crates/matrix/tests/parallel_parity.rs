@@ -52,6 +52,23 @@ fn sparse(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
     CsrMatrix::from_triplets(rows, cols, &triplets).expect("in-bounds triplets")
 }
 
+/// A power-law ("skewed-degree") sparse matrix: row `i` holds roughly
+/// `rows / (i + 1)` entries, so the first few rows carry most of the nnz —
+/// the worst case for equal-row-count partitioning and the motivating
+/// input for the nnz-balanced planner.
+fn skewed(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+    let mut triplets = Vec::new();
+    for i in 0..rows {
+        let nnz = (rows / (i + 1)).clamp(1, cols);
+        for e in 0..nnz {
+            // Spread deterministically over the columns; duplicates sum.
+            let j = (e * 31 + i * 7 + seed as usize) % cols;
+            triplets.push((i, j, pseudo(i, e, seed)));
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, &triplets).expect("in-bounds triplets")
+}
+
 fn assert_bitwise_eq(a: &DenseMatrix, b: &DenseMatrix, what: &str) {
     assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
     for (idx, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
@@ -142,6 +159,162 @@ proptest! {
         let (serial, parallel) = at_1_and_4_threads(|| a.matmul_transpose_other(&c).unwrap());
         assert_bitwise_eq(&serial, &parallel, "matmul_transpose_other");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar references for the SIMD-shaped kernels.
+//
+// These re-implement the canonical accumulation orders as plain loops: the
+// optimised kernels (8-lane `sigma_matrix::kernels`, nnz-balanced blocks)
+// must match them bit for bit at every thread count. They are the
+// "pre-optimisation scalar path" the micro-opt bench also checks against.
+// ---------------------------------------------------------------------------
+
+/// Serial scalar spmm: per-row, per-entry, left-to-right over the feature
+/// dimension — the historical kernel order.
+fn reference_spmm(m: &CsrMatrix, x: &DenseMatrix) -> DenseMatrix {
+    let f = x.cols();
+    let mut out = DenseMatrix::zeros(m.rows(), f);
+    for r in 0..m.rows() {
+        for (c, v) in m.row_iter(r) {
+            let x_row = x.row(c);
+            let out_row = out.row_mut(r);
+            for j in 0..f {
+                out_row[j] += v * x_row[j];
+            }
+        }
+    }
+    out
+}
+
+/// Serial scalar transposed spmm: the historical scatter over input rows.
+fn reference_spmm_transpose(m: &CsrMatrix, x: &DenseMatrix) -> DenseMatrix {
+    let f = x.cols();
+    let mut out = DenseMatrix::zeros(m.cols(), f);
+    for r in 0..m.rows() {
+        for (c, v) in m.row_iter(r) {
+            let x_row = x.row(r);
+            let out_row = out.row_mut(c);
+            for j in 0..f {
+                out_row[j] += v * x_row[j];
+            }
+        }
+    }
+    out
+}
+
+/// Scalar reference for `matmul_transpose_other`'s canonical 8-lane dot:
+/// lane `l` sums elements `l, l+8, …` in index order, lanes combine by the
+/// fixed tree `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))`, tail added last.
+fn reference_dot_canonical(a: &[f32], b: &[f32]) -> f32 {
+    const LANES: usize = sigma_matrix::kernels::LANES;
+    let mut lanes = [0.0f32; LANES];
+    let blocks = a.len() / LANES;
+    for blk in 0..blocks {
+        for l in 0..LANES {
+            lanes[l] += a[blk * LANES + l] * b[blk * LANES + l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in blocks * LANES..a.len() {
+        tail += a[i] * b[i];
+    }
+    ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+        + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]))
+        + tail
+}
+
+fn reference_matmul_transpose_other(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            out.set(i, j, reference_dot_canonical(a.row(i), b.row(j)));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Skewed-degree graphs: nnz-balanced blocks cut rows unevenly, which
+    /// must never show in the bits.
+    #[test]
+    fn skewed_spmm_matches_scalar_reference_at_1_and_4_threads(seed in 0u64..1_000_000) {
+        let _guard = parity_lock();
+        let m = skewed(400, 400, seed);
+        let x = dense(400, 24, seed ^ 11);
+        let expect = reference_spmm(&m, &x);
+        let (serial, parallel) = at_1_and_4_threads(|| m.spmm(&x).unwrap());
+        assert_bitwise_eq(&serial, &expect, "skewed spmm vs scalar reference (1t)");
+        assert_bitwise_eq(&parallel, &expect, "skewed spmm vs scalar reference (4t)");
+    }
+
+    #[test]
+    fn skewed_spmm_transpose_matches_scalar_reference_at_1_and_4_threads(
+        seed in 0u64..1_000_000,
+    ) {
+        let _guard = parity_lock();
+        // Transposing the skew puts the mass in a few *columns* — the
+        // output rows of spmm_transpose — stressing the column histogram
+        // planner and the hoisted column windows.
+        let m = skewed(380, 300, seed);
+        let x = dense(380, 20, seed ^ 12);
+        let expect = reference_spmm_transpose(&m, &x);
+        let (serial, parallel) = at_1_and_4_threads(|| m.spmm_transpose(&x).unwrap());
+        assert_bitwise_eq(&serial, &expect, "skewed spmm_transpose vs reference (1t)");
+        assert_bitwise_eq(&parallel, &expect, "skewed spmm_transpose vs reference (4t)");
+    }
+
+    #[test]
+    fn skewed_spgemm_and_top_k_are_thread_count_independent(seed in 0u64..1_000_000) {
+        let _guard = parity_lock();
+        let a = skewed(300, 300, seed);
+        let b = skewed(300, 300, seed ^ 13);
+        let (serial, parallel) = at_1_and_4_threads(|| a.spgemm(&b).unwrap());
+        prop_assert_eq!(serial, parallel);
+        let (serial_k, parallel_k) = at_1_and_4_threads(|| a.top_k_per_row(8));
+        prop_assert_eq!(serial_k, parallel_k);
+    }
+
+    #[test]
+    fn matmul_transpose_other_matches_canonical_reference(seed in 0u64..1_000_000) {
+        let _guard = parity_lock();
+        // Feature widths straddling the 8-lane boundary exercise block,
+        // tail, and mixed reductions.
+        for k in [7usize, 8, 9, 48, 51] {
+            let a = dense(120, k, seed);
+            let b = dense(90, k, seed ^ 14);
+            let expect = reference_matmul_transpose_other(&a, &b);
+            let (serial, parallel) = at_1_and_4_threads(|| a.matmul_transpose_other(&b).unwrap());
+            assert_bitwise_eq(&serial, &expect, "mto vs canonical reference (1t)");
+            assert_bitwise_eq(&parallel, &expect, "mto vs canonical reference (4t)");
+        }
+    }
+}
+
+#[test]
+fn skewed_spmm_rows_is_bitwise_stable_across_a_thread_sweep() {
+    let _guard = parity_lock();
+    let m = skewed(350, 350, 7);
+    let x = dense(350, 24, 8);
+    // A batch dominated by the heavy head rows plus a light tail: the
+    // weighted planner cuts this very unevenly by row count.
+    let rows: Vec<usize> = (0..700)
+        .map(|i| if i % 3 == 0 { i % 5 } else { i % 350 })
+        .collect();
+    sigma_parallel::set_global_threads(1);
+    let reference = m.spmm_rows(&rows, &x).unwrap();
+    for threads in [2usize, 4, 8] {
+        sigma_parallel::set_global_threads(threads);
+        let result = m.spmm_rows(&rows, &x).unwrap();
+        assert_bitwise_eq(
+            &reference,
+            &result,
+            &format!("skewed spmm_rows at {threads} threads"),
+        );
+    }
+    sigma_parallel::set_global_threads(0);
 }
 
 #[test]

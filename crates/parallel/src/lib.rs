@@ -26,6 +26,15 @@
 //!   therefore **bitwise identical** for every thread count — enforced by
 //!   the parity tests in `crates/matrix/tests` and `crates/simrank/tests`,
 //!   and by CI running the whole suite under `SIGMA_NUM_THREADS=1` and `=4`.
+//! * **nnz-balanced planning.** Where the ranges are cut is *not* part of
+//!   the determinism contract (any cut of the same row order yields the
+//!   same bits), so kernels with skewed per-row costs plan their ranges
+//!   with [`partition_by_weight`] / [`partition_by_prefix`] — near-equal
+//!   total nnz per range instead of near-equal row counts — and power-law
+//!   graphs stop serialising behind their heaviest rows.
+//! * **Scratch reuse.** Kernels that need per-task working buffers (spgemm's
+//!   Gustavson accumulator, LocalPush's push-round buffers) recycle them
+//!   through a [`ScratchPool`] instead of allocating per call.
 //! * **Panic propagation.** A panic inside a task is caught, the scope still
 //!   joins every sibling task, and the payload is re-raised on the
 //!   submitting thread. Workers survive panics.
@@ -47,6 +56,10 @@
 
 #![deny(missing_docs)]
 
+mod scratch;
+
+pub use scratch::{ScratchGuard, ScratchPool};
+
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -61,6 +74,12 @@ pub const MIN_PARALLEL_WORK: usize = 32_768;
 /// Upper bound on configurable thread counts (safety valve for absurd
 /// `SIGMA_NUM_THREADS` values).
 pub const MAX_THREADS: usize = 256;
+
+/// Contiguous batches per thread used when [`ThreadPool::par_map`] has more
+/// items than it wants scoped tasks: enough oversubscription that a skewed
+/// batch can be absorbed by idle threads, few enough tasks that queueing
+/// stays off the profile.
+const PAR_MAP_OVERSUB: usize = 4;
 
 /// Runtime override installed by [`set_global_threads`] (0 = unset).
 static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -257,6 +276,16 @@ impl ThreadPool {
         split_into(n, self.num_threads())
     }
 
+    /// Partitions `0..weights.len()` into at most
+    /// [`ThreadPool::num_threads`] contiguous ranges of near-equal total
+    /// *weight* (see [`partition_by_weight`]). This is the nnz-balanced
+    /// planner: kernels whose per-row cost is proportional to the row's
+    /// stored entries pass `row_nnz` weights so a skewed (power-law) row
+    /// distribution still spreads evenly across threads.
+    pub fn split_ranges_by_weight(&self, weights: &[usize]) -> Vec<Range<usize>> {
+        partition_by_weight(weights, self.num_threads())
+    }
+
     /// Runs a set of scoped tasks to completion.
     ///
     /// Tasks may borrow from the caller's stack: the call does not return
@@ -348,21 +377,111 @@ impl ThreadPool {
             return;
         }
         let rows = data.len() / width;
-        let blocks = self.num_threads().min(rows.max(1));
-        if blocks <= 1 {
+        self.par_row_blocks_in_ranges(data, width, split_into(rows, self.num_threads()), f);
+    }
+
+    /// Weighted variant of [`ThreadPool::par_row_blocks_mut`]: rows are cut
+    /// into blocks of near-equal total `weights` (one weight per row, e.g.
+    /// the row's nnz) instead of equal row count, so skewed row costs spread
+    /// evenly across threads.
+    ///
+    /// Row ownership is unchanged — each output row is still produced by
+    /// exactly one call with the serial per-row computation — so results are
+    /// bitwise identical to [`ThreadPool::par_row_blocks_mut`] (and to the
+    /// serial path) for every thread count *and* for every weight vector.
+    pub fn par_row_blocks_mut_weighted<T, F>(
+        &self,
+        data: &mut [T],
+        width: usize,
+        weights: &[usize],
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        if width == 0 {
             f(0, data);
             return;
         }
-        let rows_per_block = rows.div_ceil(blocks);
-        let chunk_len = rows_per_block * width;
+        let rows = data.len() / width;
+        debug_assert_eq!(weights.len(), rows, "one weight per row");
+        let ranges = if weights.len() == rows {
+            partition_by_weight(weights, self.num_threads())
+        } else {
+            split_into(rows, self.num_threads())
+        };
+        self.par_row_blocks_in_ranges(data, width, ranges, f);
+    }
+
+    /// Prefix-sum variant of [`ThreadPool::par_row_blocks_mut_weighted`]:
+    /// `prefix` has one entry per row boundary (`rows + 1` values,
+    /// non-decreasing), exactly the shape of a CSR `indptr` array, so sparse
+    /// kernels can plan nnz-balanced blocks with no intermediate weight
+    /// vector.
+    pub fn par_row_blocks_mut_by_prefix<T, F>(
+        &self,
+        data: &mut [T],
+        width: usize,
+        prefix: &[usize],
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        if width == 0 {
+            f(0, data);
+            return;
+        }
+        let rows = data.len() / width;
+        debug_assert_eq!(prefix.len(), rows + 1, "prefix has rows + 1 entries");
+        let ranges = if prefix.len() == rows + 1 {
+            partition_by_prefix(prefix, self.num_threads())
+        } else {
+            split_into(rows, self.num_threads())
+        };
+        self.par_row_blocks_in_ranges(data, width, ranges, f);
+    }
+
+    /// Runs `f(first_row, block)` over the row blocks described by `ranges`
+    /// (contiguous, covering, in order). Shared body of the row-block
+    /// primitives.
+    fn par_row_blocks_in_ranges<T, F>(
+        &self,
+        data: &mut [T],
+        width: usize,
+        ranges: Vec<Range<usize>>,
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if ranges.len() <= 1 {
+            f(0, data);
+            return;
+        }
         let f = &f;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
-            .chunks_mut(chunk_len)
-            .enumerate()
-            .map(|(i, block)| {
-                Box::new(move || f(i * rows_per_block, block)) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
+        let last = ranges.len() - 1;
+        let mut rest = data;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
+        for (i, range) in ranges.into_iter().enumerate() {
+            // The final block also carries any trailing elements that do not
+            // form a whole row (mirrors the historical `chunks_mut` split).
+            let len = if i == last {
+                rest.len()
+            } else {
+                range.len() * width
+            };
+            let (block, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let first_row = range.start;
+            tasks.push(Box::new(move || f(first_row, block)));
+        }
         self.run(tasks);
     }
 
@@ -378,7 +497,43 @@ impl ThreadPool {
         R: Send,
         F: Fn(Range<usize>) -> R + Sync,
     {
-        let ranges = self.split_ranges(n);
+        self.map_ranges(self.split_ranges(n), f)
+    }
+
+    /// Weighted variant of [`ThreadPool::par_map_ranges`]: partitions
+    /// `0..weights.len()` into contiguous ranges of near-equal total weight
+    /// (see [`partition_by_weight`]) and maps each through `f`, returning
+    /// results in range order.
+    ///
+    /// Callers that concatenate the per-range results in order (the
+    /// row-range kernels) get output that is a pure function of the row
+    /// order — identical for every thread count and weight vector.
+    pub fn par_map_ranges_weighted<R, F>(&self, weights: &[usize], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        self.map_ranges(self.split_ranges_by_weight(weights), f)
+    }
+
+    /// Prefix-sum variant of [`ThreadPool::par_map_ranges_weighted`]:
+    /// `prefix` holds `rows + 1` non-decreasing cumulative weights (the CSR
+    /// `indptr` shape), avoiding an intermediate weight vector.
+    pub fn par_map_ranges_by_prefix<R, F>(&self, prefix: &[usize], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        self.map_ranges(partition_by_prefix(prefix, self.num_threads()), f)
+    }
+
+    /// Maps each of `ranges` through `f` as one scoped task, returning
+    /// results in range order. Shared body of the range-mapping primitives.
+    fn map_ranges<R, F>(&self, ranges: Vec<Range<usize>>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
         if ranges.len() <= 1 {
             return ranges.into_iter().map(&f).collect();
         }
@@ -400,39 +555,107 @@ impl ThreadPool {
             .collect()
     }
 
-    /// Maps every item of `items` through `f` as its own scoped task,
-    /// returning results in item order.
+    /// Maps every item of `items` through `f`, returning results in item
+    /// order.
     ///
-    /// Unlike [`ThreadPool::par_map_chunks`] the scheduling unit is a single
-    /// item, which load-balances heavily skewed per-item costs — the repair
-    /// rounds of the incremental SimRank maintainer, where one dirty seed's
-    /// re-push can dominate a whole batch, are the motivating caller. Each
-    /// result lands in the slot of its item, so for a pure `f` the output is
-    /// identical at every thread count.
+    /// Unlike [`ThreadPool::par_map_chunks`] the scheduling granularity
+    /// adapts to the item count: few items get one scoped task each (best
+    /// load balance for heavily skewed per-item costs — the repair rounds of
+    /// the incremental SimRank maintainer, where one dirty seed's re-push
+    /// can dominate a whole batch, are the motivating caller), while large
+    /// item sets are batched into contiguous runs through the weight planner
+    /// so scheduling overhead stays off the profile. Each result lands in
+    /// the slot of its item, so for a pure `f` the output is identical at
+    /// every thread count and batching choice. When per-item costs are both
+    /// skewed *and* numerous, prefer [`ThreadPool::par_map_weighted`] with
+    /// explicit cost estimates.
     pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        if items.len() <= 1 || self.num_threads() == 1 {
+        let threads = self.num_threads();
+        if items.len() <= 1 || threads == 1 {
+            return items.iter().map(&f).collect();
+        }
+        let max_tasks = threads.saturating_mul(PAR_MAP_OVERSUB);
+        if items.len() <= max_tasks {
+            // Few items: one scoped task per item.
+            let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            {
+                let f = &f;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
+                    .iter()
+                    .zip(slots.iter_mut())
+                    .map(|(item, slot)| {
+                        Box::new(move || *slot = Some(f(item))) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                self.run(tasks);
+            }
+            return slots
+                .into_iter()
+                .map(|s| s.expect("every item task ran to completion"))
+                .collect();
+        }
+        // Many items: batch contiguous runs (equal counts — the planner with
+        // unit weights) instead of paying one boxed task per item.
+        self.par_map_in_ranges(items, split_into(items.len(), max_tasks), f)
+    }
+
+    /// Weighted variant of [`ThreadPool::par_map`]: items are grouped into
+    /// contiguous batches of near-equal total `weights` (one weight per
+    /// item, e.g. an estimated per-item cost), bounding scheduling overhead
+    /// for large item sets without giving up load balance on skewed costs.
+    ///
+    /// Results land in item order; for a pure `f` the output is identical
+    /// to `items.iter().map(f)` at every thread count and weight vector.
+    pub fn par_map_weighted<T, R, F>(&self, items: &[T], weights: &[usize], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        debug_assert_eq!(items.len(), weights.len(), "one weight per item");
+        if items.len() <= 1 || self.num_threads() == 1 || items.len() != weights.len() {
+            return items.iter().map(&f).collect();
+        }
+        let max_tasks = self.num_threads().saturating_mul(PAR_MAP_OVERSUB);
+        self.par_map_in_ranges(items, partition_by_weight(weights, max_tasks), f)
+    }
+
+    /// Maps `items` batch-wise over `ranges` (contiguous, covering, in
+    /// order), one scoped task per range, each filling its items' slots.
+    fn par_map_in_ranges<T, R, F>(&self, items: &[T], ranges: Vec<Range<usize>>, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if ranges.len() <= 1 {
             return items.iter().map(&f).collect();
         }
         let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
         {
             let f = &f;
-            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
-                .iter()
-                .zip(slots.iter_mut())
-                .map(|(item, slot)| {
-                    Box::new(move || *slot = Some(f(item))) as Box<dyn FnOnce() + Send + '_>
-                })
-                .collect();
+            let mut rest: &mut [Option<R>] = &mut slots;
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
+            for range in ranges {
+                let (block, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let batch = &items[range];
+                tasks.push(Box::new(move || {
+                    for (item, slot) in batch.iter().zip(block.iter_mut()) {
+                        *slot = Some(f(item));
+                    }
+                }));
+            }
             self.run(tasks);
         }
         slots
             .into_iter()
-            .map(|s| s.expect("every item task ran to completion"))
+            .map(|s| s.expect("every batch task ran to completion"))
             .collect()
     }
 
@@ -558,6 +781,80 @@ fn split_into(n: usize, parts: usize) -> Vec<Range<usize>> {
         .map(|i| (i * per).min(n)..((i + 1) * per).min(n))
         .filter(|r| !r.is_empty())
         .collect()
+}
+
+/// Cuts `0..weights.len()` into at most `parts` contiguous, non-empty
+/// ranges of near-equal total weight.
+///
+/// This is the nnz-balanced work planner: weights are per-row work
+/// estimates (a CSR row's nnz, a Gustavson row's flop count, a serve
+/// chunk's operator mass), and the returned ranges are what a kernel's
+/// scoped tasks should own so a skewed (power-law) distribution still
+/// spreads evenly across threads. The ranges are disjoint, cover every
+/// index in order, and each carries total weight at most
+/// `ceil(total / parts) + max(weights)` — within 2× of the ideal share
+/// whenever no single item exceeds it (a heavier item is an unsplittable
+/// unit and bounds its range alone). All-zero weights degrade to the
+/// equal-count split.
+///
+/// Any cut of the same row order yields bitwise-identical kernel output
+/// (each row is still produced by exactly one task in serial order), so the
+/// planner is free to balance without entering the determinism contract.
+pub fn partition_by_weight(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let mut prefix = Vec::with_capacity(weights.len() + 1);
+    let mut acc = 0usize;
+    prefix.push(0usize);
+    for &w in weights {
+        acc = acc.saturating_add(w);
+        prefix.push(acc);
+    }
+    partition_by_prefix(&prefix, parts)
+}
+
+/// [`partition_by_weight`] over a precomputed cumulative-weight array:
+/// `prefix` holds `n + 1` non-decreasing values and item `i` weighs
+/// `prefix[i + 1] - prefix[i]` — exactly the shape of a CSR `indptr`, which
+/// sparse kernels pass directly. Cut points are found by binary search, so
+/// planning costs `O(parts · log n)`.
+pub fn partition_by_prefix(prefix: &[usize], parts: usize) -> Vec<Range<usize>> {
+    assert!(!prefix.is_empty(), "prefix holds n + 1 entries");
+    debug_assert!(
+        prefix.windows(2).all(|w| w[1] >= w[0]),
+        "prefix must be non-decreasing"
+    );
+    let n = prefix.len() - 1;
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    if parts == 1 {
+        return std::iter::once(0..n).collect();
+    }
+    let base = prefix[0];
+    let total = prefix[n] - base;
+    if total == 0 {
+        // Every item weighs nothing: fall back to the equal-count split so
+        // zero-heavy inputs still use all threads.
+        return split_into(n, parts);
+    }
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let end = if p + 1 == parts {
+            // The last part always reaches n, absorbing any zero-weight tail.
+            n
+        } else {
+            // Smallest index whose cumulative weight reaches this part's
+            // share of the total (u128: `total * parts` may overflow usize).
+            let target = base + ((total as u128 * (p as u128 + 1)) / parts as u128) as usize;
+            start + prefix[start..=n].partition_point(|&x| x < target)
+        };
+        if end > start {
+            ranges.push(start..end);
+            start = end;
+        }
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -686,6 +983,131 @@ mod tests {
         assert_eq!(current_threads(), 3);
         set_global_threads(0);
         assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn partition_by_weight_balances_skewed_rows() {
+        // Power-law-ish weights: one heavy head, long light tail.
+        let weights: Vec<usize> = (0..100).map(|i| 1000 / (i + 1)).collect();
+        let total: usize = weights.iter().sum();
+        let parts = 4;
+        let ranges = partition_by_weight(&weights, parts);
+        // Disjoint + covering, in order.
+        let mut covered = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, covered);
+            assert!(r.end > r.start);
+            covered = r.end;
+        }
+        assert_eq!(covered, weights.len());
+        assert!(ranges.len() <= parts);
+        // Each range within the planner's bound.
+        let ideal = total.div_ceil(parts);
+        let max_item = *weights.iter().max().unwrap();
+        for r in &ranges {
+            let w: usize = weights[r.clone()].iter().sum();
+            assert!(
+                w <= ideal + max_item,
+                "range {r:?} weighs {w}, bound {}",
+                ideal + max_item
+            );
+        }
+        // Strictly better max-range weight than the equal-count split.
+        let count_max = split_into(weights.len(), parts)
+            .iter()
+            .map(|r| weights[r.clone()].iter().sum::<usize>())
+            .max()
+            .unwrap();
+        let weight_max = ranges
+            .iter()
+            .map(|r| weights[r.clone()].iter().sum::<usize>())
+            .max()
+            .unwrap();
+        assert!(weight_max < count_max, "{weight_max} !< {count_max}");
+    }
+
+    #[test]
+    fn partition_by_weight_handles_adversarial_inputs() {
+        // All-empty rows: degrade to the equal-count split.
+        let ranges = partition_by_weight(&[0usize; 10], 3);
+        assert_eq!(ranges.iter().map(Range::len).sum::<usize>(), 10);
+        assert!(ranges.len() > 1, "zero weights must still use all threads");
+        // A single heavy row is isolated without losing the zero tail.
+        let mut weights = vec![0usize; 9];
+        weights.insert(0, 1_000_000);
+        let ranges = partition_by_weight(&weights, 4);
+        assert_eq!(ranges.first().map(|r| r.clone().count()), Some(1));
+        assert_eq!(ranges.iter().map(Range::len).sum::<usize>(), 10);
+        // Empty input.
+        assert!(partition_by_weight(&[], 4).is_empty());
+        // Prefix form agrees with the weight form.
+        let weights: Vec<usize> = (0..50).map(|i| (i * 7) % 13).collect();
+        let mut prefix = vec![0usize];
+        for &w in &weights {
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        assert_eq!(
+            partition_by_weight(&weights, 4),
+            partition_by_prefix(&prefix, 4)
+        );
+    }
+
+    #[test]
+    fn par_map_batches_large_item_sets_identically() {
+        let pool = ThreadPool::with_threads(4);
+        // Far above threads × oversubscription: exercises the batched path.
+        let items: Vec<u64> = (0..10_000).collect();
+        let f = |&x: &u64| x.wrapping_mul(x) ^ 0x5a5a;
+        let serial: Vec<u64> = items.iter().map(f).collect();
+        assert_eq!(pool.par_map(&items, f), serial);
+    }
+
+    #[test]
+    fn par_map_weighted_matches_serial_map() {
+        let pool = ThreadPool::with_threads(4);
+        let items: Vec<u64> = (0..777).collect();
+        let weights: Vec<usize> = items.iter().map(|&x| (x as usize % 97) + 1).collect();
+        let f = |&x: &u64| x * 3 + 1;
+        let serial: Vec<u64> = items.iter().map(f).collect();
+        assert_eq!(pool.par_map_weighted(&items, &weights, f), serial);
+        // Degenerate weights still cover every item.
+        let zeros = vec![0usize; items.len()];
+        assert_eq!(pool.par_map_weighted(&items, &zeros, f), serial);
+    }
+
+    #[test]
+    fn weighted_row_blocks_write_every_row_once() {
+        let pool = ThreadPool::with_threads(4);
+        let (rows, width) = (97usize, 5usize);
+        // Heavily skewed weights so the cuts are uneven.
+        let weights: Vec<usize> = (0..rows).map(|r| if r < 3 { 500 } else { 1 }).collect();
+        let mut data = vec![0u32; rows * width];
+        pool.par_row_blocks_mut_weighted(&mut data, width, &weights, |first_row, block| {
+            for (i, row) in block.chunks_mut(width).enumerate() {
+                let r = first_row + i;
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (r * width + j) as u32;
+                }
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v as usize, i);
+        }
+        // Prefix variant produces the same coverage.
+        let mut prefix = vec![0usize];
+        for &w in &weights {
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        let mut data2 = vec![0u32; rows * width];
+        pool.par_row_blocks_mut_by_prefix(&mut data2, width, &prefix, |first_row, block| {
+            for (i, row) in block.chunks_mut(width).enumerate() {
+                let r = first_row + i;
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (r * width + j) as u32;
+                }
+            }
+        });
+        assert_eq!(data, data2);
     }
 
     #[test]

@@ -345,7 +345,12 @@ impl InferenceEngine {
     /// and fanned out as scoped tasks on the shared
     /// [`sigma_parallel::ThreadPool`], at most
     /// [`EngineConfig::effective_workers`] chunks in flight; smaller batches
-    /// are served on the caller's thread.
+    /// are served on the caller's thread. Chunks are grouped into tasks by
+    /// **operator mass** (each queried node costs its operator row's nnz)
+    /// through [`sigma_parallel::partition_by_weight`], so a batch that
+    /// happens to concentrate hub rows in one region does not serialise one
+    /// worker. Predictions are assembled in chunk order, so the grouping
+    /// never affects results.
     pub fn predict_batch(&self, nodes: &[usize]) -> Result<Vec<Prediction>> {
         let pool = ThreadPool::global();
         let concurrency = self.config.effective_workers(pool);
@@ -353,24 +358,43 @@ impl InferenceEngine {
             return serve_batch(&self.shared, nodes);
         }
         let chunks: Vec<&[usize]> = nodes.chunks(self.config.max_chunk).collect();
+        // Per-chunk cost estimate: the aggregation SpMM dominates, and its
+        // work is the sum of the queried rows' operator nnz (plus one unit
+        // per node for the cache probe / blend). Out-of-range nodes weigh
+        // one unit here and are rejected by `serve_batch` as before.
+        let chunk_weights: Vec<usize> = {
+            let state = self.shared.state.read().expect("serving state poisoned");
+            chunks
+                .iter()
+                .map(|chunk| {
+                    chunk
+                        .iter()
+                        .map(|&node| match state.operator.as_ref() {
+                            Some(op) if node < op.matrix.rows() => 1 + op.matrix.row_nnz(node),
+                            _ => 1,
+                        })
+                        .sum()
+                })
+                .collect()
+        };
+        let groups =
+            sigma_parallel::partition_by_weight(&chunk_weights, concurrency.min(chunks.len()));
         let mut results: Vec<Option<Result<Vec<Prediction>>>> =
             (0..chunks.len()).map(|_| None).collect();
-        // Group the chunks into at most `concurrency` scoped tasks; each
-        // task serves its chunks sequentially, writing into disjoint slots.
-        let per_group = chunks.len().div_ceil(concurrency.min(chunks.len()));
         {
             let shared = &self.shared;
-            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
-                .chunks(per_group)
-                .zip(results.chunks_mut(per_group))
-                .map(|(chunk_group, slot_group)| {
-                    Box::new(move || {
-                        for (chunk, slot) in chunk_group.iter().zip(slot_group.iter_mut()) {
-                            *slot = Some(serve_batch(shared, chunk));
-                        }
-                    }) as Box<dyn FnOnce() + Send + '_>
-                })
-                .collect();
+            let mut rest: &mut [Option<Result<Vec<Prediction>>>] = &mut results;
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(groups.len());
+            for group in groups {
+                let (slot_group, tail) = rest.split_at_mut(group.len());
+                rest = tail;
+                let chunk_group = &chunks[group];
+                tasks.push(Box::new(move || {
+                    for (chunk, slot) in chunk_group.iter().zip(slot_group.iter_mut()) {
+                        *slot = Some(serve_batch(shared, chunk));
+                    }
+                }));
+            }
             pool.run(tasks);
         }
         let mut out = Vec::with_capacity(nodes.len());

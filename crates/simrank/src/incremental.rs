@@ -187,10 +187,15 @@ impl DecomposedScores {
 }
 
 /// Runs the independent push processes of the listed seeds on the shared
-/// pool (one scoped task per seed — seed costs are heavily skewed, which is
-/// exactly what [`ThreadPool::par_map`] load-balances) and returns them in
-/// seed order. Each process is fully serial, so the results are bitwise
-/// identical at every thread count.
+/// pool and returns them in seed order. Seed costs are heavily skewed (a
+/// hub seed's push tree dwarfs a leaf's), so scheduling goes through
+/// [`ThreadPool::par_map_weighted`] with a squared-degree cost estimate —
+/// the first push round of seed `w` already fans out over
+/// `deg(w)²` neighbour pairs. Small dirty-seed batches still get one task
+/// per seed; full-graph runs are batched into contiguous weight-balanced
+/// runs instead of paying one scoped task per node. Each process is fully
+/// serial, so the results are bitwise identical at every thread count and
+/// batching choice.
 pub(crate) fn run_seeds(
     graph: &Graph,
     config: SimRankConfig,
@@ -210,7 +215,16 @@ pub(crate) fn run_seeds(
             }
         })
         .collect();
-    ThreadPool::global().par_map(seeds, |&seed| {
+    let weights: Vec<usize> = seeds
+        .iter()
+        .map(|&w| {
+            graph
+                .degree(w as usize)
+                .saturating_mul(graph.degree(w as usize))
+                + 1
+        })
+        .collect();
+    ThreadPool::global().par_map_weighted(seeds, &weights, |&seed| {
         seed_run(graph, &inv_deg, seed, c, threshold, budget)
     })
 }

@@ -54,8 +54,8 @@ use crate::fxhash::{pair_key, FxHashMap};
 use crate::incremental::{DecomposedScores, RepairReport, SeedRun};
 use crate::{Result, SimRankConfig};
 use sigma_graph::Graph;
-use sigma_matrix::CsrMatrix;
-use sigma_parallel::ThreadPool;
+use sigma_matrix::{kernels, CsrMatrix};
+use sigma_parallel::{ScratchGuard, ScratchPool, ThreadPool};
 
 /// Sparse, symmetric similarity scores produced by [`LocalPush`].
 #[derive(Debug, Clone)]
@@ -167,28 +167,20 @@ impl SparseScores {
     /// # Panics
     /// Panics if any selected row is out of bounds.
     pub fn rows_to_csr(&self, rows: &[usize], top_k: Option<usize>) -> CsrMatrix {
-        let work: usize = rows.iter().map(|&u| self.rows[u].len()).sum();
+        // Per-row stored-entry counts: dispatch estimate and the
+        // nnz-balanced planner's weights in one pass (score rows are
+        // heavily skewed on hub-dominated graphs).
+        let weights: Vec<usize> = rows.iter().map(|&u| self.rows[u].len()).collect();
+        let work: usize = weights.iter().sum();
         let pool = ThreadPool::global();
         let parts = if rows.len() > 1 && pool.should_parallelize(work) {
-            pool.par_map_ranges(rows.len(), |range| {
+            pool.par_map_ranges_weighted(&weights, |range| {
                 self.materialise_rows(&rows[range], top_k)
             })
         } else {
             vec![self.materialise_rows(rows, top_k)]
         };
-        let total_nnz: usize = parts.iter().map(|(_, idx, _)| idx.len()).sum();
-        let mut indptr = Vec::with_capacity(rows.len() + 1);
-        indptr.push(0usize);
-        let mut indices: Vec<u32> = Vec::with_capacity(total_nnz);
-        let mut values: Vec<f32> = Vec::with_capacity(total_nnz);
-        for (row_nnz, part_indices, part_values) in parts {
-            let base = indices.len();
-            for nnz in row_nnz {
-                indptr.push(base + nnz);
-            }
-            indices.extend(part_indices);
-            values.extend(part_values);
-        }
+        let (indptr, indices, values) = sigma_matrix::concat_row_parts(rows.len(), parts);
         CsrMatrix::from_raw(rows.len(), self.num_nodes, indptr, indices, values)
             .expect("scores produce a valid CSR layout")
     }
@@ -255,17 +247,52 @@ impl SparseScores {
 /// overhead against load balance.
 const PUSH_CHUNK: usize = 128;
 
-/// One chunk's contribution to a push round: the pairs whose residual was
-/// absorbed (in chunk order) and the residual deltas they generated.
-struct ChunkOutput {
+/// One chunk's working set, recycled across push rounds through the scratch
+/// pool: the absorbed-pair list and residual-delta map that used to be
+/// allocated per chunk per round, plus the gather/product buffers of the
+/// axpy-style push update. Site invariant: buffers return to the pool with
+/// `absorbed` empty and `delta` drained (capacity — including the hash
+/// map's table — survives the round trip).
+#[derive(Default)]
+struct ChunkScratch {
+    /// Pairs whose residual was absorbed, in chunk order.
     absorbed: Vec<(u64, f32)>,
+    /// Residual deltas generated by this chunk's pushes.
     delta: FxHashMap<u64, f32>,
+    /// `1 / deg(y)` for each neighbour `y` of the pair's `b` endpoint,
+    /// gathered once per pair instead of once per `(x, y)` combination.
+    inv_nb: Vec<f32>,
+    /// `scale_x · inv_nb[j]` for the current `x` — one SIMD-width
+    /// [`kernels::scale`] per neighbour row, consumed by the scatter below.
+    products: Vec<f32>,
 }
+
+/// Free list of [`ChunkScratch`] buffers shared by all push rounds (and, on
+/// the global pool, by concurrent solvers — the buffers are pure scratch,
+/// so sharing is safe). Retention is bounded twice: at most 32 buffers
+/// (a round can return one guard per frontier chunk, far more than ever
+/// run concurrently), and oversized delta tables are dropped rather than
+/// returned (see [`DELTA_RETAIN_CAP`]) so one hub-heavy refresh cannot pin
+/// huge hash tables in this process-lifetime static.
+static PUSH_SCRATCH: ScratchPool<ChunkScratch> = ScratchPool::with_max_retained(32);
+
+/// Delta maps whose table grew beyond this many entries are not returned to
+/// [`PUSH_SCRATCH`]: a single hub pair can fan out to millions of keys, and
+/// retaining such tables after the run would hold tens of megabytes of dead
+/// capacity for the life of the process.
+const DELTA_RETAIN_CAP: usize = 1 << 18;
 
 /// Pushes one frontier chunk against the round's immutable residual map.
 ///
-/// All mutation is confined to the returned buffers, so chunks run in
-/// parallel; [`LocalPush::run`] merges them in chunk order.
+/// All mutation is confined to the returned scratch buffers, so chunks run
+/// in parallel; [`LocalPush::run`] merges them in chunk order and the drop
+/// of each guard recycles its buffers for the next round.
+///
+/// The inner update is restructured as a gather + [`kernels::scale`] (the
+/// axpy-style row update shared with the spmm family) followed by a scatter
+/// into the delta map: per element it computes exactly the historical
+/// `scale_x · inv_deg[y]` product, so the scores are bit-identical to the
+/// nested-loop formulation.
 fn push_chunk(
     graph: &Graph,
     inv_deg: &[f32],
@@ -273,9 +300,16 @@ fn push_chunk(
     chunk: &[u64],
     c: f32,
     threshold: f32,
-) -> ChunkOutput {
-    let mut absorbed = Vec::with_capacity(chunk.len());
-    let mut delta: FxHashMap<u64, f32> = FxHashMap::default();
+) -> ScratchGuard<'static, ChunkScratch> {
+    let mut scratch = PUSH_SCRATCH.take_or_else(ChunkScratch::default);
+    debug_assert!(scratch.absorbed.is_empty(), "pooled absorb list dirty");
+    debug_assert!(scratch.delta.is_empty(), "pooled delta map dirty");
+    let ChunkScratch {
+        absorbed,
+        delta,
+        inv_nb,
+        products,
+    } = &mut *scratch;
     for &key in chunk {
         let r = match residual.get(&key) {
             Some(&r) if r > threshold => r,
@@ -283,20 +317,27 @@ fn push_chunk(
         };
         absorbed.push((key, r));
         let (a, b) = crate::fxhash::unpack_pair(key);
+        let nbrs_b = graph.neighbors(b as usize);
+        // Hoist the `1/deg(y)` gather out of the x-loop: one random-access
+        // pass per pair instead of one per (x, y) combination.
+        inv_nb.clear();
+        inv_nb.extend(nbrs_b.iter().map(|&y| inv_deg[y as usize]));
+        products.resize(inv_nb.len(), 0.0);
         let push_base = c * r;
         for &x in graph.neighbors(a as usize) {
             let scale_x = push_base * inv_deg[x as usize];
-            for &y in graph.neighbors(b as usize) {
+            kernels::scale(products, scale_x, inv_nb);
+            for (&y, &p) in nbrs_b.iter().zip(products.iter()) {
                 if x == y {
                     // Diagonal pairs are pinned to 1 in the exact recursion
                     // and never accumulate residual.
                     continue;
                 }
-                *delta.entry(pair_key(x, y)).or_insert(0.0) += scale_x * inv_deg[y as usize];
+                *delta.entry(pair_key(x, y)).or_insert(0.0) += p;
             }
         }
     }
-    ChunkOutput { absorbed, delta }
+    scratch
 }
 
 /// The LocalPush solver (paper Algorithm 1).
@@ -406,11 +447,19 @@ impl LocalPush {
             // keys touch independent accumulators and same-key contributions
             // are applied in chunk order, so the merged residual is
             // independent of how chunks were scheduled across threads.
+            // Draining (rather than consuming) the maps lets each guard
+            // return its buffers to the scratch pool for the next round.
             let mut candidates: Vec<u64> = Vec::new();
-            for out in outputs {
-                for (key, delta) in out.delta {
+            for mut out in outputs {
+                for (key, delta) in out.delta.drain() {
                     *residual.entry(key).or_insert(0.0) += delta;
                     candidates.push(key);
+                }
+                out.absorbed.clear();
+                if out.delta.capacity() > DELTA_RETAIN_CAP {
+                    // Detach instead of pooling: a hub fan-out grew this
+                    // table too large to keep alive past the run.
+                    drop(out.into_inner());
                 }
             }
             // Next frontier: every touched pair now above the threshold, in
