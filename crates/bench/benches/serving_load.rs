@@ -1,0 +1,365 @@
+//! Serving load harness: Zipfian node popularity against the inference
+//! engine, with edge-edit / incremental-repair traffic interleaved into the
+//! query stream.
+//!
+//! Real serving workloads are skewed — a few hub nodes absorb most queries —
+//! and the cache hit rate, and therefore the latency distribution, depends
+//! on that skew. This harness drives the engine with an inverse-CDF Zipfian
+//! sampler (popularity rank decorrelated from node id by a seeded shuffle)
+//! across a grid of skews × batch mixes, applying a deterministic edit batch
+//! plus `repair_from` every `EDIT_EVERY` requests so repairs contend with
+//! queries the way they do in production.
+//!
+//! Latency quantiles come from the engine's own `sigma-obs` histograms
+//! (`sigma_serve_predict_ns` / `sigma_serve_predict_batch_ns`) — the harness
+//! measures the metrics pipeline end to end rather than keeping a private
+//! latency vector. Each config gets a fresh engine, and the previous one is
+//! dropped first: the registry holds weak references, so the global snapshot
+//! the harness reads is exactly one engine's histograms.
+//!
+//! Results go to stdout and `BENCH_serving.json` (crate dir + repo root).
+//! Pass `--quick` for the CI-sized run.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sigma::{ContextBuilder, ModelHyperParams, SigmaModel};
+use sigma_bench::TablePrinter;
+use sigma_datasets::DatasetPreset;
+use sigma_graph::Graph;
+use sigma_obs::{HistogramSnapshot, MetricValue};
+use sigma_serve::{EngineConfig, InferenceEngine, ServeSnapshot};
+use sigma_simrank::{DynamicSimRank, EdgeUpdate, SimRankConfig};
+use std::time::Instant;
+
+const TOP_K: usize = 16;
+/// One edit batch + one `repair_from` per this many requests.
+const EDIT_EVERY: usize = 50;
+const EDITS_PER_BATCH: usize = 4;
+
+/// Inverse-CDF Zipfian sampler over `n` nodes: rank `r` (0-based) is drawn
+/// with probability proportional to `(r + 1)^-skew`, and ranks are mapped to
+/// node ids through a seeded permutation so popularity is independent of id
+/// order (and of the generator's community layout).
+struct ZipfSampler {
+    cumulative: Vec<f64>,
+    node_of_rank: Vec<usize>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, skew: f64, seed: u64) -> Self {
+        let mut node_of_rank: Vec<usize> = (0..n).collect();
+        node_of_rank.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x51f5));
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += ((rank + 1) as f64).powf(-skew);
+            cumulative.push(acc);
+        }
+        Self {
+            cumulative,
+            node_of_rank,
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty sampler");
+        let u = rng.gen_range(0.0..total);
+        let rank = self.cumulative.partition_point(|&c| c <= u);
+        self.node_of_rank[rank.min(self.node_of_rank.len() - 1)]
+    }
+}
+
+/// A batch-size mix: request sizes drawn with the given weights.
+struct BatchMix {
+    name: &'static str,
+    /// `(batch_size, weight)` — size 1 goes through `predict`, larger sizes
+    /// through `predict_batch`.
+    sizes: &'static [(usize, u32)],
+}
+
+impl BatchMix {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total: u32 = self.sizes.iter().map(|&(_, w)| w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for &(size, weight) in self.sizes {
+            if pick < weight {
+                return size;
+            }
+            pick -= weight;
+        }
+        self.sizes.last().expect("non-empty mix").0
+    }
+}
+
+const MIXES: &[BatchMix] = &[
+    // Online point lookups with the occasional small fan-out.
+    BatchMix {
+        name: "interactive",
+        sizes: &[(1, 70), (4, 20), (16, 10)],
+    },
+    // Batch-scoring traffic: almost everything arrives in bulk.
+    BatchMix {
+        name: "bulk",
+        sizes: &[(16, 40), (64, 50), (128, 10)],
+    },
+];
+
+const SKEWS: &[f64] = &[0.75, 1.25];
+
+struct ConfigResult {
+    skew: f64,
+    mix: &'static str,
+    requests: usize,
+    nodes_served: u64,
+    repairs: usize,
+    elapsed_s: f64,
+    /// Per-request latency over both entry points (merged histograms).
+    latency: HistogramSnapshot,
+    predict: HistogramSnapshot,
+    predict_batch: HistogramSnapshot,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    rows_repaired: u64,
+    dirty_seeds: u64,
+}
+
+/// Pulls one named histogram out of the global metrics snapshot.
+fn histogram(snap: &sigma_obs::MetricsSnapshot, name: &str) -> HistogramSnapshot {
+    match snap.get(name) {
+        Some(MetricValue::Histogram(h)) => h.clone(),
+        _ => HistogramSnapshot::empty(),
+    }
+}
+
+/// Deterministic edit batch `round` rounds into the stream: chord inserts
+/// and ring deletions, the same pattern the incremental-repair bench uses.
+fn edit_batch(n: usize, round: usize) -> Vec<EdgeUpdate> {
+    (0..EDITS_PER_BATCH)
+        .map(|j| {
+            let i = round * EDITS_PER_BATCH + j;
+            if i.is_multiple_of(2) {
+                EdgeUpdate::Insert((i * 17) % n, (i * 17 + n / 2) % n)
+            } else {
+                EdgeUpdate::Delete((i * 29) % n, (i * 29 + 1) % n)
+            }
+        })
+        .collect()
+}
+
+fn run_config(
+    graph: &Graph,
+    snapshot: &ServeSnapshot,
+    simrank: SimRankConfig,
+    skew: f64,
+    mix: &BatchMix,
+    requests: usize,
+) -> ConfigResult {
+    let n = graph.num_nodes();
+    // Fresh maintainer per config (deterministic, so its operator matches
+    // the shared snapshot) and a cache sized for pressure, not residence.
+    let mut maintainer =
+        DynamicSimRank::new(graph.clone(), simrank, usize::MAX / 2).expect("maintainer");
+    let _ = maintainer.operator().expect("initial operator");
+    let engine = InferenceEngine::new(
+        snapshot,
+        EngineConfig {
+            cache_capacity: n / 4,
+            workers: 0,
+            max_chunk: 64,
+        },
+    )
+    .expect("engine");
+
+    let sampler = ZipfSampler::new(n, skew, 7);
+    let mut rng = StdRng::seed_from_u64((skew * 1000.0) as u64 ^ mix.name.len() as u64);
+    let mut repairs = 0usize;
+    let mut batch = Vec::new();
+    let start = Instant::now();
+    for request in 0..requests {
+        if request > 0 && request % EDIT_EVERY == 0 {
+            maintainer
+                .apply_batch(&edit_batch(n, repairs))
+                .expect("edits in bounds");
+            let repair = engine.repair_from(&mut maintainer).expect("repair");
+            assert!(!repair.full_refresh, "engine lost its operator lineage");
+            repairs += 1;
+        }
+        let size = mix.sample(&mut rng);
+        if size == 1 {
+            let _ = engine.predict(sampler.sample(&mut rng)).expect("query");
+        } else {
+            batch.clear();
+            batch.extend((0..size).map(|_| sampler.sample(&mut rng)));
+            let _ = engine.predict_batch(&batch).expect("batch query");
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let stats = engine.stats();
+    let metrics = sigma_obs::snapshot();
+    let predict = histogram(&metrics, "sigma_serve_predict_ns");
+    let predict_batch = histogram(&metrics, "sigma_serve_predict_batch_ns");
+    // Dropping the engine here releases its registry entries (weak refs), so
+    // the next config's snapshot sees only its own engine.
+    drop(engine);
+
+    ConfigResult {
+        skew,
+        mix: mix.name,
+        requests,
+        nodes_served: stats.nodes_served,
+        repairs,
+        elapsed_s,
+        latency: predict.merged(&predict_batch),
+        predict,
+        predict_batch,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_evictions: stats.cache_evictions,
+        rows_repaired: stats.rows_repaired,
+        dirty_seeds: stats.repair_dirty_seeds,
+    }
+}
+
+fn quantiles_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_ns\": {:.0}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+        h.count,
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99)
+    )
+}
+
+fn emit_json(quick: bool, n: usize, edges: usize, results: &[ConfigResult]) {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serving_load\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(
+        "  \"note\": \"latency quantiles are read from the engine's sigma-obs histograms \
+         (bucket upper bounds, <= 12.5% relative error); absolute numbers are single-host and \
+         the in-process pool shares cores with the load generator — cross-config ratios \
+         (skew and batch-mix effects on hit rate and tail latency) are the portable signal\",\n",
+    );
+    out.push_str(&format!(
+        "  \"graph\": {{\"nodes\": {n}, \"edges\": {edges}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"edit_traffic\": {{\"edit_every_requests\": {EDIT_EVERY}, \
+         \"edits_per_batch\": {EDITS_PER_BATCH}}},\n"
+    ));
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let hit_rate = r.cache_hits as f64 / (r.cache_hits + r.cache_misses).max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"skew\": {}, \"mix\": \"{}\", \"requests\": {}, \"nodes_served\": {}, \
+             \"repairs\": {}, \"elapsed_s\": {:.3}, \
+             \"throughput_requests_per_s\": {:.1}, \"throughput_nodes_per_s\": {:.1}, \
+             \"latency\": {}, \"predict\": {}, \"predict_batch\": {}, \
+             \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"hit_rate\": {:.4}}}, \
+             \"repair\": {{\"rows_repaired\": {}, \"dirty_seeds\": {}}}}}{}\n",
+            r.skew,
+            r.mix,
+            r.requests,
+            r.nodes_served,
+            r.repairs,
+            r.elapsed_s,
+            r.requests as f64 / r.elapsed_s,
+            r.nodes_served as f64 / r.elapsed_s,
+            quantiles_json(&r.latency),
+            quantiles_json(&r.predict),
+            quantiles_json(&r.predict_batch),
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_evictions,
+            hit_rate,
+            r.rows_repaired,
+            r.dirty_seeds,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let here = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serving.json");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(here, &out).expect("write crates/bench/BENCH_serving.json");
+    std::fs::write(root, &out).expect("write BENCH_serving.json at the repo root");
+    println!("wrote {here} (copied to the repository root)");
+}
+
+fn main() {
+    if !sigma_obs::ENABLED {
+        // The whole point of this harness is exercising the metrics pipeline;
+        // without it there are no histograms to report from.
+        println!("serving_load: built without the `obs` feature; skipping (no histograms)");
+        return;
+    }
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, requests) = if quick { (0.25, 400) } else { (1.0, 2000) };
+
+    let data = DatasetPreset::Pokec.build(scale, 47).expect("preset");
+    let graph = data.graph.clone();
+    let n = graph.num_nodes();
+    let edges = graph.num_edges();
+    let features = data.features.clone();
+    println!(
+        "pokec-like serving graph: {n} nodes, {edges} edges, {requests} requests/config \
+         (quick: {quick})"
+    );
+
+    // One shared snapshot: untrained (deterministically initialised) model
+    // over the maintainer's operator — latency does not depend on weight
+    // values, and skipping training keeps the harness about serving.
+    let simrank = SimRankConfig::default().with_top_k(TOP_K);
+    let mut maintainer =
+        DynamicSimRank::new(graph.clone(), simrank, usize::MAX / 2).expect("maintainer");
+    let operator = maintainer.operator().expect("operator");
+    let ctx = ContextBuilder::new(data)
+        .with_simrank_operator(operator)
+        .build()
+        .expect("context");
+    let model = SigmaModel::new(
+        &ctx,
+        &ModelHyperParams::small(),
+        &mut StdRng::seed_from_u64(47),
+    )
+    .expect("model");
+    let snapshot = ServeSnapshot::new(
+        "serving-load",
+        model.snapshot(&ctx).expect("model snapshot"),
+        features,
+        graph.to_adjacency(),
+    )
+    .expect("serve snapshot");
+
+    let mut table = TablePrinter::new(vec![
+        "skew", "mix", "req/s", "p50 µs", "p95 µs", "p99 µs", "hit rate", "repairs",
+    ]);
+    let mut results = Vec::new();
+    for &skew in SKEWS {
+        for mix in MIXES {
+            let r = run_config(&graph, &snapshot, simrank, skew, mix, requests);
+            let hits = r.cache_hits as f64 / (r.cache_hits + r.cache_misses).max(1) as f64;
+            table.add_row(vec![
+                format!("{skew}"),
+                r.mix.to_string(),
+                format!("{:.0}", r.requests as f64 / r.elapsed_s),
+                format!("{:.1}", r.latency.quantile(0.50) as f64 / 1e3),
+                format!("{:.1}", r.latency.quantile(0.95) as f64 / 1e3),
+                format!("{:.1}", r.latency.quantile(0.99) as f64 / 1e3),
+                format!("{hits:.3}"),
+                format!("{}", r.repairs),
+            ]);
+            results.push(r);
+        }
+    }
+    table.print("serving load: Zipfian skew x batch mix");
+    println!("(latency = per-request, merged over predict and predict_batch histograms)");
+    emit_json(quick, n, edges, &results);
+}

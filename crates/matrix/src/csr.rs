@@ -1,5 +1,33 @@
 use crate::{kernels, DenseMatrix, MatrixError, Result};
+use sigma_obs::StaticCounter;
 use sigma_parallel::{ScratchPool, ThreadPool};
+
+static SPMM_CALLS: StaticCounter = StaticCounter::new(
+    "sigma_spmm_calls_total",
+    "spmm (sparse x dense) kernel invocations that reached the compute path",
+);
+static SPMM_NNZ: StaticCounter =
+    StaticCounter::new("sigma_spmm_nnz_total", "stored entries processed by spmm");
+static SPMM_TRANSPOSE_CALLS: StaticCounter = StaticCounter::new(
+    "sigma_spmm_transpose_calls_total",
+    "spmm_transpose (backward operator product) invocations that reached the compute path",
+);
+static SPMM_TRANSPOSE_NNZ: StaticCounter = StaticCounter::new(
+    "sigma_spmm_transpose_nnz_total",
+    "stored entries processed by spmm_transpose",
+);
+static SPGEMM_CALLS: StaticCounter = StaticCounter::new(
+    "sigma_spgemm_calls_total",
+    "spgemm (sparse x sparse) invocations",
+);
+static SPMM_ROWS_CALLS: StaticCounter = StaticCounter::new(
+    "sigma_spmm_rows_calls_total",
+    "row-sliced spmm (serving batch) invocations that reached the compute path",
+);
+static SPMM_ROWS_ROWS: StaticCounter = StaticCounter::new(
+    "sigma_spmm_rows_rows_total",
+    "output rows produced by spmm_rows",
+);
 
 /// Reused Gustavson working set for [`CsrMatrix::spgemm`]: the dense
 /// accumulator plus the touched-column list. Site invariant: buffers return
@@ -286,6 +314,9 @@ impl CsrMatrix {
         if f == 0 || self.rows == 0 {
             return Ok(out);
         }
+        SPMM_CALLS.inc();
+        SPMM_NNZ.add(self.nnz() as u64);
+        let _span = sigma_obs::span!("spmm", self.nnz());
         let pool = ThreadPool::global();
         if pool.should_parallelize(self.nnz().saturating_mul(f)) {
             pool.par_row_blocks_mut_by_prefix(
@@ -341,6 +372,9 @@ impl CsrMatrix {
         if f == 0 || self.cols == 0 {
             return Ok(out);
         }
+        SPMM_TRANSPOSE_CALLS.inc();
+        SPMM_TRANSPOSE_NNZ.add(self.nnz() as u64);
+        let _span = sigma_obs::span!("spmm_transpose", self.nnz());
         let pool = ThreadPool::global();
         if pool.should_parallelize(self.nnz().saturating_mul(f)) {
             // Each output row's work is its *column* count in `self`; one
@@ -406,6 +440,8 @@ impl CsrMatrix {
                 rhs: rhs.shape(),
             });
         }
+        SPGEMM_CALLS.inc();
+        let _span = sigma_obs::span!("spgemm", self.nnz().saturating_add(rhs.nnz()));
         let pool = ThreadPool::global();
         // Dispatch estimate: nnz(self) + nnz(rhs) is a cheap stand-in for the
         // true flop count and only gates *whether* to parallelise.
@@ -724,6 +760,9 @@ impl CsrMatrix {
         if f == 0 || rows.is_empty() {
             return Ok(out);
         }
+        SPMM_ROWS_CALLS.inc();
+        SPMM_ROWS_ROWS.add(rows.len() as u64);
+        let _span = sigma_obs::span!("spmm_rows", work);
         let slice_block = |first: usize, block: &mut [f32]| {
             for (i, out_row) in block.chunks_exact_mut(f).enumerate() {
                 let r = rows[first + i];

@@ -1,0 +1,301 @@
+//! Fixed-bucket log-scale latency histograms.
+//!
+//! The layout is HDR-style log-linear: values below [`SUB_BUCKETS`] map to
+//! their own exact bucket, and every power-of-two octave above that is cut
+//! into [`SUB_BUCKETS`] linear sub-buckets keyed by the top mantissa bits.
+//! The bucket count is fixed at compile time ([`NUM_BUCKETS`], ~4 KiB of
+//! `AtomicU64` per histogram), recording is a single relaxed `fetch_add`
+//! (lock-free, wait-free, safe from any thread), and the relative width of
+//! any bucket is at most `1 / SUB_BUCKETS` — so a quantile read off the
+//! bucket edges is within 12.5% of the exact order statistic.
+//!
+//! Quantiles use the nearest-rank definition: `q` maps to rank
+//! `ceil(q·count)` (clamped to `[1, count]`), and the reported value is the
+//! inclusive upper bound of the bucket holding that rank. The exact rank-th
+//! smallest recorded value provably lies inside that bucket's `[low, high]`
+//! range — the property the oracle tests in `tests/histogram.rs` pin down.
+//!
+//! Merging two histograms is a bucket-wise add, which makes it associative
+//! and commutative (also proptested): per-thread or per-engine histograms
+//! can be combined in any order without changing any derived quantile.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave (and the size of the exact
+/// small-value region). Must be a power of two.
+pub const SUB_BUCKETS: usize = 8;
+
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros(); // 3
+
+/// Total number of buckets: one exact bucket per value in
+/// `0..SUB_BUCKETS`, then `SUB_BUCKETS` sub-buckets for each of the
+/// `64 - SUB_BITS` remaining octaves (exponents `SUB_BITS..=63`) of the
+/// `u64` range.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Index of the bucket covering `value`. Monotone non-decreasing in `value`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros(); // >= SUB_BITS
+        let mantissa = (value >> (exp - SUB_BITS)) & (SUB_BUCKETS as u64 - 1);
+        SUB_BUCKETS + ((exp - SUB_BITS) as usize) * SUB_BUCKETS + mantissa as usize
+    }
+}
+
+/// Smallest value mapping to bucket `index`.
+#[inline]
+pub fn bucket_low(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64
+    } else {
+        let offset = index - SUB_BUCKETS;
+        let exp = (offset / SUB_BUCKETS) as u32; // octave above the exact region
+        let mantissa = (offset % SUB_BUCKETS) as u64;
+        (SUB_BUCKETS as u64 + mantissa) << exp
+    }
+}
+
+/// Largest value mapping to bucket `index` (inclusive).
+#[inline]
+pub fn bucket_high(index: usize) -> u64 {
+    if index + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_low(index + 1) - 1
+    }
+}
+
+/// A lock-free log-scale histogram of `u64` samples (latencies in
+/// nanoseconds, sizes, ratios — any non-negative magnitude).
+///
+/// `const`-constructible so it can live in a `static`; recording from any
+/// number of threads concurrently never loses counts (each sample is one
+/// relaxed `fetch_add` on its bucket plus the `count`/`sum` totals).
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating on overflow is impossible with fetch_add; wrapping after
+        // 2^64 ns (~584 years of accumulated latency) is acceptable.
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket contents.
+    ///
+    /// Loads are relaxed and per-bucket, so a snapshot taken while writers
+    /// are active may be *mutually* inconsistent (a sample's bucket
+    /// increment observed but not yet its `count` increment, or vice versa);
+    /// each individual cell is still an actually-attained monotone value,
+    /// and a snapshot taken after writers quiesce is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]: mergeable, queryable, serialisable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket sample counts (`NUM_BUCKETS` entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+
+    /// Records a sample into this plain snapshot (single-threaded
+    /// accumulation, e.g. the span recorder under its own lock).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+    }
+
+    /// Bucket-wise merge: the histogram of the union of both sample sets.
+    ///
+    /// Associative and commutative (bucket-wise `u64` addition), so
+    /// per-thread or per-engine histograms combine in any order.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(other.buckets.iter())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            buckets,
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `[low, high]` value range of the bucket holding the nearest-rank
+    /// `q`-quantile (`q` clamped to `[0, 1]`); `None` when empty.
+    ///
+    /// The exact rank-th smallest recorded sample lies inside the returned
+    /// range: with `rank = max(1, ceil(q·count))`, the number of samples
+    /// `<= high` is at least `rank` and the number `< low` is below it.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some((bucket_low(i), bucket_high(i)));
+            }
+        }
+        // Unreachable when `count` matches the bucket totals; guard against
+        // torn concurrent snapshots by falling back to the last non-empty
+        // bucket.
+        let last = self.buckets.iter().rposition(|&c| c > 0)?;
+        Some((bucket_low(last), bucket_high(last)))
+    }
+
+    /// Nearest-rank `q`-quantile, reported as the upper bound of its bucket
+    /// (conservative for latency reporting; exact for values below
+    /// [`SUB_BUCKETS`]). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).map(|(_, high)| high).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_maps_small_values_exactly() {
+        for v in 0..SUB_BUCKETS as u64 {
+            let i = bucket_index(v);
+            assert_eq!(bucket_low(i), v);
+            assert_eq!(bucket_high(i), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        for i in 0..NUM_BUCKETS - 1 {
+            assert_eq!(bucket_high(i) + 1, bucket_low(i + 1), "gap after {i}");
+        }
+        assert_eq!(bucket_high(NUM_BUCKETS - 1), u64::MAX);
+        for v in [0u64, 1, 7, 8, 9, 255, 256, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_low(i) <= v && v <= bucket_high(i), "value {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_width_is_bounded() {
+        for i in SUB_BUCKETS..NUM_BUCKETS - 1 {
+            let (low, high) = (bucket_low(i), bucket_high(i));
+            let width = high - low + 1;
+            assert!(
+                (width as f64) <= (low as f64) / (SUB_BUCKETS as f64) + 1.0,
+                "bucket {i} [{low}, {high}] wider than low/{SUB_BUCKETS}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum, 5050);
+        let (low, high) = snap.quantile_bounds(0.5).unwrap();
+        assert!(low <= 50 && 50 <= high, "p50 of 1..=100 in [{low}, {high}]");
+        let (low, high) = snap.quantile_bounds(0.99).unwrap();
+        assert!(low <= 99 && 99 <= high, "p99 of 1..=100 in [{low}, {high}]");
+        assert_eq!(snap.quantile_bounds(0.0).unwrap().0, 1);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.quantile_bounds(0.5), None);
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+}

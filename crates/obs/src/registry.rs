@@ -1,0 +1,353 @@
+//! The process-wide metric registry and its exporters.
+//!
+//! Metrics register themselves here (statics lazily on first touch,
+//! per-engine metrics at construction via `Arc`/`Weak`), and exporters pull
+//! one coherent [`MetricsSnapshot`] out: Prometheus-style text exposition
+//! ([`MetricsSnapshot::to_prometheus`]) or JSON
+//! ([`MetricsSnapshot::to_json`]). Registration is cold-path (a mutex push);
+//! the hot path only ever touches the metric's own atomics.
+//!
+//! Several sources may register under the same name (e.g. two engines both
+//! exporting `sigma_serve_nodes_served_total`); a snapshot merges them —
+//! counters and gauges by sum, histograms by their associative bucket-wise
+//! merge — so the exposition is one time series per name. Per-`Arc` sources
+//! are held as `Weak` and pruned once the owner drops.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, Weak};
+
+enum Slot {
+    StaticCounter(&'static Counter),
+    StaticGauge(&'static Gauge),
+    StaticHistogram(&'static Histogram),
+    ArcCounter(Weak<Counter>),
+    ArcGauge(Weak<Gauge>),
+    ArcHistogram(Weak<Histogram>),
+}
+
+impl Slot {
+    /// `None` when the owning `Arc` has been dropped.
+    fn read(&self) -> Option<MetricValue> {
+        match self {
+            Slot::StaticCounter(c) => Some(MetricValue::Counter(c.get())),
+            Slot::StaticGauge(g) => Some(MetricValue::Gauge(g.get())),
+            Slot::StaticHistogram(h) => Some(MetricValue::Histogram(h.snapshot())),
+            Slot::ArcCounter(w) => w.upgrade().map(|c| MetricValue::Counter(c.get())),
+            Slot::ArcGauge(w) => w.upgrade().map(|g| MetricValue::Gauge(g.get())),
+            Slot::ArcHistogram(w) => w.upgrade().map(|h| MetricValue::Histogram(h.snapshot())),
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        match self {
+            Slot::ArcCounter(w) => w.strong_count() == 0,
+            Slot::ArcGauge(w) => w.strong_count() == 0,
+            Slot::ArcHistogram(w) => w.strong_count() == 0,
+            _ => false,
+        }
+    }
+}
+
+struct Entry {
+    name: &'static str,
+    /// Optional Prometheus-style label set (e.g. `worker="3"`), rendered as
+    /// `name{label}` in both exporters.
+    label: Option<String>,
+    help: &'static str,
+    slot: Slot,
+}
+
+/// A registry of metric sources. Use [`Registry::global`] everywhere except
+/// tests that need isolation.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+static GLOBAL: Registry = Registry::new();
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide registry all instrumentation registers into.
+    pub fn global() -> &'static Registry {
+        &GLOBAL
+    }
+
+    fn push(&self, name: &'static str, label: Option<String>, help: &'static str, slot: Slot) {
+        self.entries
+            .lock()
+            .expect("metric registry poisoned")
+            .push(Entry {
+                name,
+                label,
+                help,
+                slot,
+            });
+    }
+
+    /// Registers a `static` counter.
+    pub fn register_counter(&self, name: &'static str, help: &'static str, c: &'static Counter) {
+        self.push(name, None, help, Slot::StaticCounter(c));
+    }
+
+    /// Registers a `static` counter with a label set (`key="value"` text).
+    pub fn register_counter_labeled(
+        &self,
+        name: &'static str,
+        label: String,
+        help: &'static str,
+        c: &'static Counter,
+    ) {
+        self.push(name, Some(label), help, Slot::StaticCounter(c));
+    }
+
+    /// Registers a `static` gauge.
+    pub fn register_gauge(&self, name: &'static str, help: &'static str, g: &'static Gauge) {
+        self.push(name, None, help, Slot::StaticGauge(g));
+    }
+
+    /// Registers a `static` histogram.
+    pub fn register_histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        h: &'static Histogram,
+    ) {
+        self.push(name, None, help, Slot::StaticHistogram(h));
+    }
+
+    /// Registers a shared counter; the registry holds a `Weak` and the entry
+    /// disappears from snapshots once the last owner drops.
+    pub fn register_arc_counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        c: &std::sync::Arc<Counter>,
+    ) {
+        self.push(
+            name,
+            None,
+            help,
+            Slot::ArcCounter(std::sync::Arc::downgrade(c)),
+        );
+    }
+
+    /// Registers a shared gauge (see [`Registry::register_arc_counter`]).
+    pub fn register_arc_gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        g: &std::sync::Arc<Gauge>,
+    ) {
+        self.push(
+            name,
+            None,
+            help,
+            Slot::ArcGauge(std::sync::Arc::downgrade(g)),
+        );
+    }
+
+    /// Registers a shared histogram (see [`Registry::register_arc_counter`]).
+    pub fn register_arc_histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        h: &std::sync::Arc<Histogram>,
+    ) {
+        self.push(
+            name,
+            None,
+            help,
+            Slot::ArcHistogram(std::sync::Arc::downgrade(h)),
+        );
+    }
+
+    /// Reads every live source into one merged snapshot and prunes sources
+    /// whose owners have dropped.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries = self.entries.lock().expect("metric registry poisoned");
+        entries.retain(|e| !e.slot.is_dead());
+        let mut merged: BTreeMap<(&'static str, Option<String>), (&'static str, MetricValue)> =
+            BTreeMap::new();
+        for entry in entries.iter() {
+            let Some(value) = entry.slot.read() else {
+                continue;
+            };
+            let key = (entry.name, entry.label.clone());
+            match merged.get_mut(&key) {
+                None => {
+                    merged.insert(key, (entry.help, value));
+                }
+                Some((_, existing)) => existing.merge(value),
+            }
+        }
+        drop(entries);
+        MetricsSnapshot {
+            entries: merged
+                .into_iter()
+                .map(|((name, label), (help, value))| SnapshotEntry {
+                    name: name.to_string(),
+                    label,
+                    help,
+                    value,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One exported value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Signed instantaneous value.
+    Gauge(i64),
+    /// Log-scale sample distribution.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// Merges a same-name source into this one: counters and gauges add,
+    /// histograms merge bucket-wise. Mismatched kinds keep the first value
+    /// (cannot happen unless a name is registered under two kinds).
+    fn merge(&mut self, other: MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => *a = a.merged(&b),
+            _ => {}
+        }
+    }
+}
+
+/// One named metric inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Metric name (Prometheus-style `snake_case`, `_total` for counters).
+    pub name: String,
+    /// Optional label text (`key="value"`), rendered as `name{label}`.
+    pub label: Option<String>,
+    /// One-line human description.
+    pub help: &'static str,
+    /// The merged value.
+    pub value: MetricValue,
+}
+
+impl SnapshotEntry {
+    fn full_name(&self) -> String {
+        match &self.label {
+            Some(label) => format!("{}{{{}}}", self.name, label),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A coherent point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The exported metrics, sorted by `(name, label)`.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a metric up by bare name (first label if several).
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// Convenience: the value of a counter metric, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Number of exported metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Prometheus text exposition (histograms as `summary`-style quantiles).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_header: Option<&str> = None;
+        for entry in &self.entries {
+            if last_header != Some(entry.name.as_str()) {
+                let kind = match entry.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "summary",
+                };
+                out.push_str(&format!("# HELP {} {}\n", entry.name, entry.help));
+                out.push_str(&format!("# TYPE {} {}\n", entry.name, kind));
+                last_header = Some(entry.name.as_str());
+            }
+            match &entry.value {
+                MetricValue::Counter(v) => out.push_str(&format!("{} {v}\n", entry.full_name())),
+                MetricValue::Gauge(v) => out.push_str(&format!("{} {v}\n", entry.full_name())),
+                MetricValue::Histogram(h) => {
+                    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        out.push_str(&format!(
+                            "{}{{quantile=\"{label}\"}} {}\n",
+                            entry.name,
+                            h.quantile(q)
+                        ));
+                    }
+                    out.push_str(&format!("{}_sum {}\n", entry.name, h.sum));
+                    out.push_str(&format!("{}_count {}\n", entry.name, h.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object grouping metrics by kind; histograms export count, sum,
+    /// mean and the p50/p95/p99 bucket upper bounds (not raw buckets).
+    pub fn to_json(&self) -> String {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for entry in &self.entries {
+            let name = entry.full_name().replace('"', "'");
+            match &entry.value {
+                MetricValue::Counter(v) => counters.push(format!("    \"{name}\": {v}")),
+                MetricValue::Gauge(v) => gauges.push(format!("    \"{name}\": {v}")),
+                MetricValue::Histogram(h) => histograms.push(format!(
+                    "    \"{name}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.3}, \
+                     \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                    h.count,
+                    h.sum,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                )),
+            }
+        }
+        format!(
+            "{{\n  \"counters\": {{\n{}\n  }},\n  \"gauges\": {{\n{}\n  }},\n  \
+             \"histograms\": {{\n{}\n  }}\n}}\n",
+            counters.join(",\n"),
+            gauges.join(",\n"),
+            histograms.join(",\n")
+        )
+    }
+}

@@ -1,0 +1,298 @@
+//! Zero-cost-when-disabled static metric declarations.
+//!
+//! Instrumented crates declare their metrics as `static`s:
+//!
+//! ```
+//! use sigma_obs::StaticCounter;
+//! static SPMM_CALLS: StaticCounter =
+//!     StaticCounter::new("sigma_spmm_calls_total", "spmm kernel invocations");
+//! SPMM_CALLS.inc();
+//! ```
+//!
+//! With the `obs` feature on, the first touch registers the metric with
+//! [`crate::Registry::global`] (a `Once` fast path — one atomic load — plus
+//! the metric's own relaxed atomic op). With the feature off every type
+//! here is a ZST whose methods are empty `#[inline(always)]` bodies: the
+//! instrumentation compiles away entirely, which is what keeps the hot
+//! kernels free of registry code in `--no-default-features` builds.
+
+#[cfg(feature = "obs")]
+mod enabled {
+    use crate::registry::Registry;
+    use crate::{Counter, Gauge, Histogram};
+    use std::sync::Once;
+
+    /// A lazily-registered monotone counter living in a `static`.
+    pub struct StaticCounter {
+        name: &'static str,
+        help: &'static str,
+        inner: Counter,
+        registered: Once,
+    }
+
+    impl StaticCounter {
+        /// Declares a counter under a Prometheus-style name.
+        pub const fn new(name: &'static str, help: &'static str) -> Self {
+            Self {
+                name,
+                help,
+                inner: Counter::new(),
+                registered: Once::new(),
+            }
+        }
+
+        #[inline]
+        fn ensure_registered(&'static self) {
+            self.registered.call_once(|| {
+                Registry::global().register_counter(self.name, self.help, &self.inner);
+            });
+        }
+
+        /// Adds 1.
+        #[inline]
+        pub fn inc(&'static self) {
+            self.add(1);
+        }
+
+        /// Adds `n`.
+        #[inline]
+        pub fn add(&'static self, n: u64) {
+            self.ensure_registered();
+            self.inner.add(n);
+        }
+
+        /// Current value.
+        pub fn get(&'static self) -> u64 {
+            self.inner.get()
+        }
+    }
+
+    /// A lazily-registered gauge living in a `static`.
+    pub struct StaticGauge {
+        name: &'static str,
+        help: &'static str,
+        inner: Gauge,
+        registered: Once,
+    }
+
+    impl StaticGauge {
+        /// Declares a gauge under a Prometheus-style name.
+        pub const fn new(name: &'static str, help: &'static str) -> Self {
+            Self {
+                name,
+                help,
+                inner: Gauge::new(),
+                registered: Once::new(),
+            }
+        }
+
+        #[inline]
+        fn ensure_registered(&'static self) {
+            self.registered.call_once(|| {
+                Registry::global().register_gauge(self.name, self.help, &self.inner);
+            });
+        }
+
+        /// Adds `n` (may be negative).
+        #[inline]
+        pub fn add(&'static self, n: i64) {
+            self.ensure_registered();
+            self.inner.add(n);
+        }
+
+        /// Subtracts `n`.
+        #[inline]
+        pub fn sub(&'static self, n: i64) {
+            self.add(-n);
+        }
+
+        /// Current value.
+        pub fn get(&'static self) -> i64 {
+            self.inner.get()
+        }
+    }
+
+    /// A lazily-registered log-scale histogram living in a `static`.
+    pub struct StaticHistogram {
+        name: &'static str,
+        help: &'static str,
+        inner: Histogram,
+        registered: Once,
+    }
+
+    impl StaticHistogram {
+        /// Declares a histogram under a Prometheus-style name.
+        pub const fn new(name: &'static str, help: &'static str) -> Self {
+            Self {
+                name,
+                help,
+                inner: Histogram::new(),
+                registered: Once::new(),
+            }
+        }
+
+        /// Records one sample.
+        #[inline]
+        pub fn record(&'static self, value: u64) {
+            self.registered.call_once(|| {
+                Registry::global().register_histogram(self.name, self.help, &self.inner);
+            });
+            self.inner.record(value);
+        }
+
+        /// Samples recorded so far.
+        pub fn count(&'static self) -> u64 {
+            self.inner.count()
+        }
+    }
+
+    /// A fixed-size family of counters distinguished by an integer label
+    /// (e.g. per-worker busy time: `sigma_pool_worker_busy_ns{worker="3"}`).
+    /// Slots beyond `N - 1` fold into the last slot.
+    pub struct StaticCounterFamily<const N: usize> {
+        name: &'static str,
+        label_key: &'static str,
+        help: &'static str,
+        slots: [Counter; N],
+        registered: [Once; N],
+    }
+
+    impl<const N: usize> StaticCounterFamily<N> {
+        /// Declares a counter family; each touched slot registers as
+        /// `name{label_key="<slot>"}`.
+        pub const fn new(name: &'static str, label_key: &'static str, help: &'static str) -> Self {
+            #[allow(clippy::declare_interior_mutable_const)]
+            const ZERO: Counter = Counter::new();
+            #[allow(clippy::declare_interior_mutable_const)]
+            const ONCE: Once = Once::new();
+            Self {
+                name,
+                label_key,
+                help,
+                slots: [ZERO; N],
+                registered: [ONCE; N],
+            }
+        }
+
+        /// Adds `n` to `slot` (clamped to the last slot).
+        #[inline]
+        pub fn add(&'static self, slot: usize, n: u64) {
+            let slot = slot.min(N - 1);
+            self.registered[slot].call_once(|| {
+                Registry::global().register_counter_labeled(
+                    self.name,
+                    format!("{}=\"{slot}\"", self.label_key),
+                    self.help,
+                    &self.slots[slot],
+                );
+            });
+            self.slots[slot].add(n);
+        }
+
+        /// Current value of `slot` (clamped to the last slot).
+        pub fn get(&'static self, slot: usize) -> u64 {
+            self.slots[slot.min(N - 1)].get()
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use enabled::{StaticCounter, StaticCounterFamily, StaticGauge, StaticHistogram};
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    /// No-op counter (`obs` feature disabled).
+    pub struct StaticCounter;
+
+    impl StaticCounter {
+        /// No-op.
+        pub const fn new(_name: &'static str, _help: &'static str) -> Self {
+            Self
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn inc(&self) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _n: u64) {}
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn get(&self) -> u64 {
+            0
+        }
+    }
+
+    /// No-op gauge (`obs` feature disabled).
+    pub struct StaticGauge;
+
+    impl StaticGauge {
+        /// No-op.
+        pub const fn new(_name: &'static str, _help: &'static str) -> Self {
+            Self
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _n: i64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn sub(&self, _n: i64) {}
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn get(&self) -> i64 {
+            0
+        }
+    }
+
+    /// No-op histogram (`obs` feature disabled).
+    pub struct StaticHistogram;
+
+    impl StaticHistogram {
+        /// No-op.
+        pub const fn new(_name: &'static str, _help: &'static str) -> Self {
+            Self
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record(&self, _value: u64) {}
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn count(&self) -> u64 {
+            0
+        }
+    }
+
+    /// No-op counter family (`obs` feature disabled).
+    pub struct StaticCounterFamily<const N: usize>;
+
+    impl<const N: usize> StaticCounterFamily<N> {
+        /// No-op.
+        pub const fn new(
+            _name: &'static str,
+            _label_key: &'static str,
+            _help: &'static str,
+        ) -> Self {
+            Self
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _slot: usize, _n: u64) {}
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn get(&self, _slot: usize) -> u64 {
+            0
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+pub use disabled::{StaticCounter, StaticCounterFamily, StaticGauge, StaticHistogram};

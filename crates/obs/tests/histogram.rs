@@ -1,0 +1,121 @@
+//! Histogram math guarantees (satellite of the sigma-obs PR):
+//!
+//! * merge is associative and commutative (proptest),
+//! * p50/p95/p99 are within one bucket of an exact sorted-vector oracle —
+//!   the nearest-rank order statistic lies inside the `[low, high]` range of
+//!   the bucket the histogram reports (proptest),
+//! * concurrent recording never loses counts (multi-thread hammer).
+//!
+//! These tests exercise the always-compiled primitives, so they run (and
+//! must pass) with and without the `obs` feature.
+
+use proptest::prelude::*;
+use sigma_obs::{bucket_high, bucket_index, bucket_low, Histogram, HistogramSnapshot, NUM_BUCKETS};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The exact nearest-rank quantile of a sorted sample vector.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(sa.merged(&sb), sb.merged(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..150),
+        b in proptest::collection::vec(0u64..1_000_000, 0..150),
+        c in proptest::collection::vec(0u64..1_000_000, 0..150),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merged(&sb).merged(&sc), sa.merged(&sb.merged(&sc)));
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let merged = snapshot_of(&a).merged(&snapshot_of(&b));
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(merged, snapshot_of(&union));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_sorted_oracle(
+        mut values in proptest::collection::vec(0u64..u64::MAX / 2, 1..400),
+    ) {
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let exact = oracle_quantile(&values, q);
+            let (low, high) = snap.quantile_bounds(q).expect("non-empty");
+            prop_assert!(
+                low <= exact && exact <= high,
+                "q={q}: oracle {exact} outside histogram bucket [{low}, {high}]"
+            );
+            // "Within one bucket": the reported value is the bucket's upper
+            // bound, so it never underestimates and overestimates by less
+            // than the bucket width.
+            prop_assert_eq!(snap.quantile(q), high);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_invert_the_index(v in proptest::any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_low(i) <= v && v <= bucket_high(i));
+        // Monotone: the next value up never maps to an earlier bucket.
+        if v < u64::MAX {
+            prop_assert!(bucket_index(v + 1) >= i);
+        }
+    }
+}
+
+#[test]
+fn concurrent_recording_never_loses_counts() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 50_000;
+    let h = Histogram::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = &h;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread across buckets; deterministic per-thread values
+                    // so the expected sum is exactly computable.
+                    h.record(((t * PER_THREAD + i) % 10_000) as u64);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, (THREADS * PER_THREAD) as u64);
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|x| (x % 10_000) as u64).sum();
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(
+        snap.buckets.iter().sum::<u64>(),
+        (THREADS * PER_THREAD) as u64,
+        "every sample landed in exactly one bucket"
+    );
+}

@@ -37,7 +37,17 @@
 //!   through a [`ScratchPool`] instead of allocating per call.
 //! * **Panic propagation.** A panic inside a task is caught, the scope still
 //!   joins every sibling task, and the payload is re-raised on the
-//!   submitting thread. Workers survive panics.
+//!   submitting thread. Workers survive panics. When the panicking task was
+//!   inside a `sigma_obs::span!` region, the innermost span's name is
+//!   appended to string payloads (`"... (in span 'spmm')"`) so a kernel
+//!   panic under load is attributable to the kernel that raised it.
+//! * **Observability.** With the (default) `obs` feature the pool exports
+//!   task counts, queue depth, per-worker busy nanoseconds and two range
+//!   imbalance histograms — the planner's *predicted* max/ideal weight
+//!   ratio next to the *measured* max/mean task wall-time ratio (both in
+//!   permille, 1000 = perfectly balanced) — through `sigma_obs`. All of it
+//!   is relaxed atomics off the lock paths; with `obs` disabled every hook
+//!   compiles to nothing.
 //!
 //! ## Example
 //!
@@ -60,12 +70,111 @@ mod scratch;
 
 pub use scratch::{ScratchGuard, ScratchPool};
 
+use sigma_obs::{StaticCounter, StaticCounterFamily, StaticGauge, StaticHistogram, Stopwatch};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
+
+static POOL_TASKS: StaticCounter = StaticCounter::new(
+    "sigma_pool_tasks_total",
+    "scoped tasks submitted through ThreadPool::run (inline fast paths included)",
+);
+static POOL_QUEUE_DEPTH: StaticGauge = StaticGauge::new(
+    "sigma_pool_queue_depth",
+    "boxed jobs currently waiting in the shared work queue",
+);
+static POOL_WORKER_BUSY_NS: StaticCounterFamily<MAX_THREADS> = StaticCounterFamily::new(
+    "sigma_pool_worker_busy_ns",
+    "worker",
+    "nanoseconds each pool worker (by spawn index) spent executing jobs",
+);
+static POOL_SUBMITTER_BUSY_NS: StaticCounter = StaticCounter::new(
+    "sigma_pool_submitter_busy_ns",
+    "nanoseconds submitting threads spent executing queued jobs during help-first joins",
+);
+static POOL_IMBALANCE_PREDICTED: StaticHistogram = StaticHistogram::new(
+    "sigma_pool_imbalance_predicted_permille",
+    "planner-predicted range imbalance: heaviest range weight over the ideal equal share, permille (1000 = perfectly balanced)",
+);
+static POOL_IMBALANCE_MEASURED: StaticHistogram = StaticHistogram::new(
+    "sigma_pool_imbalance_measured_permille",
+    "measured range imbalance: slowest task wall time over the mean task wall time, permille (1000 = perfectly balanced)",
+);
+
+/// Per-task wall-time sampler feeding the measured-imbalance histogram.
+///
+/// Allocates one atomic slot per range when instrumentation is enabled and
+/// more than one range will run; otherwise it is an empty vector and both
+/// [`TaskTimer::time`] and [`TaskTimer::record`] reduce to the bare closure
+/// call. Comparing its histogram against the planner's predicted imbalance
+/// (recorded in [`partition_by_prefix`]) shows how well nnz-proportional
+/// weights model real per-range cost.
+struct TaskTimer {
+    samples: Vec<AtomicU64>,
+}
+
+impl TaskTimer {
+    fn new(parts: usize) -> Self {
+        let samples = if sigma_obs::ENABLED && parts > 1 {
+            (0..parts).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Vec::new()
+        };
+        Self { samples }
+    }
+
+    #[inline]
+    fn time<T>(&self, index: usize, f: impl FnOnce() -> T) -> T {
+        if self.samples.is_empty() {
+            return f();
+        }
+        let sw = Stopwatch::start();
+        let out = f();
+        // `max(1)`: a sub-nanosecond task still counts as having run.
+        self.samples[index].store(sw.elapsed_ns().max(1), Ordering::Relaxed);
+        out
+    }
+
+    fn record(&self) {
+        if self.samples.is_empty() {
+            return;
+        }
+        let loads: Vec<u64> = self
+            .samples
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = loads.iter().sum();
+        let max = loads.iter().copied().max().unwrap_or(0);
+        if total == 0 || max == 0 {
+            return;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        POOL_IMBALANCE_MEASURED.record(((max as f64 / mean) * 1000.0) as u64);
+    }
+}
+
+/// Attaches the innermost `sigma_obs` span name (if the panicking task was
+/// inside one) to string panic payloads, so the message re-raised by the
+/// submitting thread names the kernel that failed. Non-string payloads pass
+/// through untouched; with `obs` disabled this is the identity function.
+fn attach_panic_span(payload: Box<dyn std::any::Any + Send>) -> Box<dyn std::any::Any + Send> {
+    let Some(span) = sigma_obs::take_panic_span() else {
+        return payload;
+    };
+    let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+        Some((*s).to_string())
+    } else {
+        payload.downcast_ref::<String>().cloned()
+    };
+    match message {
+        Some(m) => Box::new(format!("{m} (in span '{span}')")),
+        None => payload,
+    }
+}
 
 /// Work (in inner-loop operations, e.g. FLOPs) below which parallel dispatch
 /// is not worth the queueing overhead and kernels should stay serial.
@@ -293,6 +402,7 @@ impl ThreadPool {
     /// re-raised). The submitting thread executes queued work while it
     /// waits, so nested `run` calls from inside a task cannot deadlock.
     pub fn run<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        POOL_TASKS.add(tasks.len() as u64);
         match tasks.len() {
             0 => return,
             1 => {
@@ -312,15 +422,20 @@ impl ThreadPool {
             return;
         }
 
-        let latch = Arc::new(Latch::new(tasks.len()));
-        self.ensure_workers(self.num_threads().saturating_sub(1).min(tasks.len() - 1));
+        let task_count = tasks.len();
+        let latch = Arc::new(Latch::new(task_count));
+        self.ensure_workers(self.num_threads().saturating_sub(1).min(task_count - 1));
         {
             let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
             for task in tasks {
                 let latch = Arc::clone(&latch);
                 let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                    // Discard any span parked by an unrelated earlier unwind
+                    // on this thread so a panic here is attributed only to a
+                    // span *this* task was inside.
+                    let _ = sigma_obs::take_panic_span();
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                        latch.record_panic(payload);
+                        latch.record_panic(attach_panic_span(payload));
                     }
                     latch.complete_one();
                 });
@@ -337,6 +452,7 @@ impl ThreadPool {
                 };
                 queue.jobs.push_back(job);
             }
+            POOL_QUEUE_DEPTH.add(task_count as i64);
             self.shared.job_ready.notify_all();
         }
         // Help-first join: keep executing queued work (ours or a nested
@@ -347,7 +463,12 @@ impl ThreadPool {
                 queue.jobs.pop_front()
             };
             match job {
-                Some(job) => job(),
+                Some(job) => {
+                    POOL_QUEUE_DEPTH.sub(1);
+                    let sw = Stopwatch::start();
+                    job();
+                    POOL_SUBMITTER_BUSY_NS.add(sw.elapsed_ns());
+                }
                 None => latch.wait_briefly(),
             }
         }
@@ -465,7 +586,9 @@ impl ThreadPool {
             f(0, data);
             return;
         }
+        let timer = TaskTimer::new(ranges.len());
         let f = &f;
+        let timer_ref = &timer;
         let last = ranges.len() - 1;
         let mut rest = data;
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
@@ -480,9 +603,10 @@ impl ThreadPool {
             let (block, tail) = rest.split_at_mut(len);
             rest = tail;
             let first_row = range.start;
-            tasks.push(Box::new(move || f(first_row, block)));
+            tasks.push(Box::new(move || timer_ref.time(i, || f(first_row, block))));
         }
         self.run(tasks);
+        timer.record();
     }
 
     /// Partitions `0..n` into contiguous ranges (one per thread) and maps
@@ -537,18 +661,23 @@ impl ThreadPool {
         if ranges.len() <= 1 {
             return ranges.into_iter().map(&f).collect();
         }
+        let timer = TaskTimer::new(ranges.len());
         let mut slots: Vec<Option<R>> = ranges.iter().map(|_| None).collect();
         {
             let f = &f;
+            let timer = &timer;
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
                 .into_iter()
                 .zip(slots.iter_mut())
-                .map(|(range, slot)| {
-                    Box::new(move || *slot = Some(f(range))) as Box<dyn FnOnce() + Send + '_>
+                .enumerate()
+                .map(|(i, (range, slot))| {
+                    Box::new(move || *slot = Some(timer.time(i, || f(range))))
+                        as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
             self.run(tasks);
         }
+        timer.record();
         slots
             .into_iter()
             .map(|s| s.expect("every range task ran to completion"))
@@ -710,7 +839,7 @@ impl ThreadPool {
             let index = queue.spawned_workers;
             let handle = std::thread::Builder::new()
                 .name(format!("sigma-parallel-{index}"))
-                .spawn(move || worker_loop(shared))
+                .spawn(move || worker_loop(shared, index))
                 .expect("spawning a sigma-parallel worker thread");
             queue.spawned_workers += 1;
             if self.fixed_threads.is_some() {
@@ -745,7 +874,7 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: Arc<PoolShared>) {
+fn worker_loop(shared: Arc<PoolShared>, index: usize) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("pool queue poisoned");
@@ -764,7 +893,12 @@ fn worker_loop(shared: Arc<PoolShared>) {
         };
         match job {
             // Jobs are panic-wrapped at submission, so this cannot unwind.
-            Some(job) => job(),
+            Some(job) => {
+                POOL_QUEUE_DEPTH.sub(1);
+                let sw = Stopwatch::start();
+                job();
+                POOL_WORKER_BUSY_NS.add(index, sw.elapsed_ns());
+            }
             None => return,
         }
     }
@@ -852,6 +986,20 @@ pub fn partition_by_prefix(prefix: &[usize], parts: usize) -> Vec<Range<usize>> 
         if end > start {
             ranges.push(start..end);
             start = end;
+        }
+    }
+    if sigma_obs::ENABLED && ranges.len() > 1 {
+        // What the planner *expects* the imbalance to be: heaviest range
+        // weight over the ideal equal share. Compared against the measured
+        // task wall-time imbalance recorded by the execution primitives.
+        let max_w = ranges
+            .iter()
+            .map(|r| prefix[r.end] - prefix[r.start])
+            .max()
+            .unwrap_or(0);
+        let ideal = total as f64 / ranges.len() as f64;
+        if ideal > 0.0 {
+            POOL_IMBALANCE_PREDICTED.record(((max_w as f64 / ideal) * 1000.0) as u64);
         }
     }
     ranges

@@ -13,8 +13,18 @@
 //! call site documents its cleanliness invariant), so which physical buffer
 //! a task happens to receive can never influence results.
 
+use sigma_obs::StaticCounter;
 use std::ops::{Deref, DerefMut};
 use std::sync::Mutex;
+
+static SCRATCH_HITS: StaticCounter = StaticCounter::new(
+    "sigma_scratch_hits_total",
+    "scratch-pool takes served from the free list (allocation reused)",
+);
+static SCRATCH_MISSES: StaticCounter = StaticCounter::new(
+    "sigma_scratch_misses_total",
+    "scratch-pool takes that had to build a fresh buffer",
+);
 
 /// Default cap on how many buffers a pool retains; takes beyond the cap are
 /// still served (freshly built), returns beyond it are dropped. Matches the
@@ -67,9 +77,19 @@ impl<T: Send> ScratchPool<T> {
     /// Takes a pooled buffer, building a fresh one with `make` if none is
     /// free. The buffer returns to the pool when the guard drops.
     pub fn take_or_else(&self, make: impl FnOnce() -> T) -> ScratchGuard<'_, T> {
+        let value = match self.take() {
+            Some(pooled) => {
+                SCRATCH_HITS.inc();
+                pooled
+            }
+            None => {
+                SCRATCH_MISSES.inc();
+                make()
+            }
+        };
         ScratchGuard {
             pool: self,
-            value: Some(self.take().unwrap_or_else(make)),
+            value: Some(value),
         }
     }
 

@@ -75,17 +75,20 @@ impl LruCache {
         }
     }
 
-    /// Inserts (or refreshes) a row, evicting the least recently used entry
-    /// if the cache is full.
-    pub fn insert(&mut self, node: usize, row: Vec<f32>) {
+    /// Inserts (or refreshes) a row, evicting least recently used entries
+    /// while the cache is over capacity. Returns how many live entries were
+    /// displaced (0 on a refresh or while under capacity) so the caller can
+    /// account capacity pressure separately from correctness invalidations.
+    pub fn insert(&mut self, node: usize, row: Vec<f32>) -> usize {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
         self.clock += 1;
         self.maybe_compact();
         let clock = self.clock;
         self.eviction.push(Reverse((clock, node)));
         self.entries.insert(node, (clock, row));
+        let mut evicted = 0usize;
         while self.entries.len() > self.capacity {
             match self.eviction.pop() {
                 Some(Reverse((stamp, candidate))) => {
@@ -95,6 +98,7 @@ impl LruCache {
                         .is_some_and(|(current, _)| *current == stamp)
                     {
                         self.entries.remove(&candidate);
+                        evicted += 1;
                     }
                 }
                 // Heap exhausted: every remaining candidate was stale. Cannot
@@ -102,6 +106,7 @@ impl LruCache {
                 None => break,
             }
         }
+        evicted
     }
 
     /// Removes one node's row, returning whether it was present.

@@ -36,6 +36,7 @@ use crate::snapshot::ServeSnapshot;
 use crate::{Result, ServeError};
 use sigma::snapshot::ModelSnapshot;
 use sigma_matrix::{CsrMatrix, DenseMatrix};
+use sigma_obs::{Counter, Histogram, Registry, Stopwatch};
 use sigma_parallel::ThreadPool;
 use sigma_simrank::{DynamicSimRank, EdgeUpdate, RepairOutcome};
 use std::collections::HashSet;
@@ -129,7 +130,25 @@ pub struct Prediction {
     pub stale: bool,
 }
 
-/// Monotone serving counters.
+/// Monotone serving counters, read with [`InferenceEngine::stats`].
+///
+/// # Tearing semantics
+///
+/// A snapshot is assembled from independent relaxed loads of live counters,
+/// **not** taken under any lock. Two guarantees hold:
+///
+/// * **Per-counter monotonicity.** Each field is an actually-attained value
+///   of its counter, and successive snapshots never observe a field
+///   decreasing.
+/// * **No cross-counter consistency.** A snapshot taken while queries are in
+///   flight may *tear* between fields: a batch bumps `cache_misses` before
+///   `nodes_served`, so derived identities (e.g. `cache_hits + cache_misses
+///   == nodes_served`) can be transiently off by in-flight requests. They
+///   hold exactly once the engine quiesces.
+///
+/// This is deliberate: serving never pays a stats lock. Tests that assert
+/// cross-field identities must stop issuing queries first (see
+/// `stats_tearing.rs` in this crate's test suite).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Total nodes served.
@@ -140,6 +159,9 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Aggregated rows recomputed via the row-sliced kernel.
     pub cache_misses: u64,
+    /// Cached rows displaced by LRU capacity pressure (distinct from
+    /// `rows_invalidated`, which counts correctness-driven drops).
+    pub cache_evictions: u64,
     /// Cached rows dropped by edge-update invalidation or repair.
     pub rows_invalidated: u64,
     /// Operator swap-ins from a refreshed maintainer (whole-operator path;
@@ -152,33 +174,142 @@ pub struct EngineStats {
     pub rows_repaired: u64,
     /// Embedding (`H`) rows recomputed in place across all repairs.
     pub embedding_rows_repaired: u64,
+    /// Dirty seed pairs re-pushed by the maintainer across all incremental
+    /// repairs driven through [`InferenceEngine::repair_from`].
+    pub repair_dirty_seeds: u64,
 }
 
-#[derive(Default)]
-struct AtomicStats {
-    nodes_served: AtomicU64,
-    batches_served: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    rows_invalidated: AtomicU64,
-    operator_refreshes: AtomicU64,
-    operator_repairs: AtomicU64,
-    rows_repaired: AtomicU64,
-    embedding_rows_repaired: AtomicU64,
+/// The engine's live counters and latency histograms, built on `sigma_obs`
+/// primitives.
+///
+/// The counters are always functional (they are plain relaxed atomics, so
+/// [`InferenceEngine::stats`] works identically with the `obs` feature
+/// off); when `obs` is enabled they are additionally registered with the
+/// process-wide [`Registry`] under `sigma_serve_*` names, where several
+/// engines in one process merge by summation. The latency histograms are
+/// only *recorded into* when `obs` is on — with it off the stopwatch reads
+/// compile to nothing and the histograms stay empty.
+struct EngineMetrics {
+    nodes_served: Arc<Counter>,
+    batches_served: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    rows_invalidated: Arc<Counter>,
+    operator_refreshes: Arc<Counter>,
+    operator_repairs: Arc<Counter>,
+    rows_repaired: Arc<Counter>,
+    embedding_rows_repaired: Arc<Counter>,
+    repair_dirty_seeds: Arc<Counter>,
+    /// Wall time of [`InferenceEngine::predict`] calls, nanoseconds.
+    predict_ns: Arc<Histogram>,
+    /// Wall time of [`InferenceEngine::predict_batch`] calls, nanoseconds.
+    predict_batch_ns: Arc<Histogram>,
 }
 
-impl AtomicStats {
+impl EngineMetrics {
+    fn new() -> Self {
+        let metrics = Self {
+            nodes_served: Arc::new(Counter::new()),
+            batches_served: Arc::new(Counter::new()),
+            cache_hits: Arc::new(Counter::new()),
+            cache_misses: Arc::new(Counter::new()),
+            cache_evictions: Arc::new(Counter::new()),
+            rows_invalidated: Arc::new(Counter::new()),
+            operator_refreshes: Arc::new(Counter::new()),
+            operator_repairs: Arc::new(Counter::new()),
+            rows_repaired: Arc::new(Counter::new()),
+            embedding_rows_repaired: Arc::new(Counter::new()),
+            repair_dirty_seeds: Arc::new(Counter::new()),
+            predict_ns: Arc::new(Histogram::new()),
+            predict_batch_ns: Arc::new(Histogram::new()),
+        };
+        if sigma_obs::ENABLED {
+            let registry = Registry::global();
+            registry.register_arc_counter(
+                "sigma_serve_nodes_served_total",
+                "nodes served across all batches",
+                &metrics.nodes_served,
+            );
+            registry.register_arc_counter(
+                "sigma_serve_batches_served_total",
+                "serve_batch calls completed",
+                &metrics.batches_served,
+            );
+            registry.register_arc_counter(
+                "sigma_serve_cache_hits_total",
+                "aggregated rows served from the LRU cache",
+                &metrics.cache_hits,
+            );
+            registry.register_arc_counter(
+                "sigma_serve_cache_misses_total",
+                "aggregated rows recomputed via the row-sliced kernel",
+                &metrics.cache_misses,
+            );
+            registry.register_arc_counter(
+                "sigma_serve_cache_evictions_total",
+                "cached rows displaced by LRU capacity pressure",
+                &metrics.cache_evictions,
+            );
+            registry.register_arc_counter(
+                "sigma_serve_rows_invalidated_total",
+                "cached rows dropped by edge-update invalidation or repair",
+                &metrics.rows_invalidated,
+            );
+            registry.register_arc_counter(
+                "sigma_serve_operator_refreshes_total",
+                "whole-operator swap-ins (cache-dropping path)",
+                &metrics.operator_refreshes,
+            );
+            registry.register_arc_counter(
+                "sigma_serve_operator_repairs_total",
+                "incremental row-patch repairs applied",
+                &metrics.operator_repairs,
+            );
+            registry.register_arc_counter(
+                "sigma_serve_rows_repaired_total",
+                "operator rows patched in place across all repairs",
+                &metrics.rows_repaired,
+            );
+            registry.register_arc_counter(
+                "sigma_serve_embedding_rows_repaired_total",
+                "embedding rows re-encoded in place across all repairs",
+                &metrics.embedding_rows_repaired,
+            );
+            registry.register_arc_counter(
+                "sigma_serve_repair_dirty_seeds_total",
+                "dirty seed pairs re-pushed by the maintainer during repairs",
+                &metrics.repair_dirty_seeds,
+            );
+            registry.register_arc_histogram(
+                "sigma_serve_predict_ns",
+                "single-node predict latency in nanoseconds",
+                &metrics.predict_ns,
+            );
+            registry.register_arc_histogram(
+                "sigma_serve_predict_batch_ns",
+                "predict_batch latency in nanoseconds",
+                &metrics.predict_batch_ns,
+            );
+        }
+        metrics
+    }
+
+    /// Independent relaxed loads; see [`EngineStats`] for the exact tearing
+    /// guarantees.
     fn snapshot(&self) -> EngineStats {
         EngineStats {
-            nodes_served: self.nodes_served.load(Ordering::Relaxed),
-            batches_served: self.batches_served.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            rows_invalidated: self.rows_invalidated.load(Ordering::Relaxed),
-            operator_refreshes: self.operator_refreshes.load(Ordering::Relaxed),
-            operator_repairs: self.operator_repairs.load(Ordering::Relaxed),
-            rows_repaired: self.rows_repaired.load(Ordering::Relaxed),
-            embedding_rows_repaired: self.embedding_rows_repaired.load(Ordering::Relaxed),
+            nodes_served: self.nodes_served.get(),
+            batches_served: self.batches_served.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_evictions: self.cache_evictions.get(),
+            rows_invalidated: self.rows_invalidated.get(),
+            operator_refreshes: self.operator_refreshes.get(),
+            operator_repairs: self.operator_repairs.get(),
+            rows_repaired: self.rows_repaired.get(),
+            embedding_rows_repaired: self.embedding_rows_repaired.get(),
+            repair_dirty_seeds: self.repair_dirty_seeds.get(),
         }
     }
 }
@@ -234,7 +365,7 @@ struct Shared {
     /// otherwise a batch racing a swap could cache old-operator rows after
     /// the swap's cache clear (or a repair's targeted eviction).
     epoch: AtomicU64,
-    stats: AtomicStats,
+    stats: EngineMetrics,
 }
 
 /// Online node-classification server for a snapshotted SIGMA model.
@@ -300,7 +431,7 @@ impl InferenceEngine {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             stale: Mutex::new(HashSet::new()),
             epoch: AtomicU64::new(0),
-            stats: AtomicStats::default(),
+            stats: EngineMetrics::new(),
         });
         Ok(Self { shared, config })
     }
@@ -335,7 +466,11 @@ impl InferenceEngine {
 
     /// Serves a single node.
     pub fn predict(&self, node: usize) -> Result<Prediction> {
+        let sw = Stopwatch::start();
         let mut batch = serve_batch(&self.shared, &[node])?;
+        if sigma_obs::ENABLED {
+            self.shared.stats.predict_ns.record(sw.elapsed_ns());
+        }
         Ok(batch.pop().expect("one prediction per queried node"))
     }
 
@@ -352,6 +487,16 @@ impl InferenceEngine {
     /// worker. Predictions are assembled in chunk order, so the grouping
     /// never affects results.
     pub fn predict_batch(&self, nodes: &[usize]) -> Result<Vec<Prediction>> {
+        let sw = Stopwatch::start();
+        let result = self.predict_batch_inner(nodes);
+        if sigma_obs::ENABLED {
+            self.shared.stats.predict_batch_ns.record(sw.elapsed_ns());
+        }
+        result
+    }
+
+    /// [`InferenceEngine::predict_batch`] minus the latency bookkeeping.
+    fn predict_batch_inner(&self, nodes: &[usize]) -> Result<Vec<Prediction>> {
         let pool = ThreadPool::global();
         let concurrency = self.config.effective_workers(pool);
         if nodes.len() <= self.config.max_chunk || concurrency <= 1 {
@@ -613,19 +758,18 @@ impl InferenceEngine {
             .expect("stale lock poisoned")
             .clear();
         let stats = &self.shared.stats;
-        stats
-            .rows_invalidated
-            .fetch_add(evicted as u64, Ordering::Relaxed);
+        stats.rows_invalidated.add(evicted as u64);
         stats
             .embedding_rows_repaired
-            .fetch_add(embedding_rows.len() as u64, Ordering::Relaxed);
+            .add(embedding_rows.len() as u64);
+        if let RepairOutcome::Patched(report) = &outcome {
+            stats.repair_dirty_seeds.add(report.dirty_seeds as u64);
+        }
         if full_refresh {
-            stats.operator_refreshes.fetch_add(1, Ordering::Relaxed);
+            stats.operator_refreshes.inc();
         } else {
-            stats.operator_repairs.fetch_add(1, Ordering::Relaxed);
-            stats
-                .rows_repaired
-                .fetch_add(operator_rows.len() as u64, Ordering::Relaxed);
+            stats.operator_repairs.inc();
+            stats.rows_repaired.add(operator_rows.len() as u64);
         }
         Ok(EngineRepair {
             operator_rows,
@@ -668,10 +812,7 @@ impl InferenceEngine {
             .lock()
             .expect("stale lock poisoned")
             .clear();
-        self.shared
-            .stats
-            .operator_refreshes
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.operator_refreshes.inc();
         Ok(())
     }
 
@@ -695,6 +836,10 @@ impl InferenceEngine {
     }
 
     /// A point-in-time copy of the serving counters.
+    ///
+    /// Lock-free: see [`EngineStats`] for the exact guarantees — each field
+    /// is individually monotone and exact, but fields may tear against each
+    /// other while queries are in flight.
     pub fn stats(&self) -> EngineStats {
         self.shared.stats.snapshot()
     }
@@ -751,10 +896,7 @@ impl InferenceEngine {
             let mut stale = self.shared.stale.lock().expect("stale lock poisoned");
             stale.extend(rows.iter().copied());
         }
-        self.shared
-            .stats
-            .rows_invalidated
-            .fetch_add(invalidated as u64, Ordering::Relaxed);
+        self.shared.stats.rows_invalidated.add(invalidated as u64);
         invalidated
     }
 }
@@ -782,6 +924,7 @@ fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
             return Err(ServeError::InvalidQuery { node, num_nodes: n });
         }
     }
+    let _span = sigma_obs::span!("serve_batch", nodes.len());
 
     // Plan and compute under ONE read of the serving state: the cache
     // probe, the row-sliced SpMM for every miss, and the `H` rows blended
@@ -827,12 +970,10 @@ fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
     shared
         .stats
         .cache_hits
-        .fetch_add((nodes.len() - misses.len()) as u64, Ordering::Relaxed);
-    shared
-        .stats
-        .cache_misses
-        .fetch_add(misses.len() as u64, Ordering::Relaxed);
+        .add((nodes.len() - misses.len()) as u64);
+    shared.stats.cache_misses.add(misses.len() as u64);
     if !misses.is_empty() {
+        let mut evicted = 0usize;
         let mut cache = shared.cache.lock().expect("cache lock poisoned");
         // If the serving state was mutated while we computed, the rows are
         // still a consistent answer for this query (it raced the update) but
@@ -841,10 +982,12 @@ fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
         for (i, &slot) in miss_slots.iter().enumerate() {
             let row = computed.row(i).to_vec();
             if cache_rows {
-                cache.insert(misses[i], row.clone());
+                evicted += cache.insert(misses[i], row.clone());
             }
             z_hat[slot] = Some(row);
         }
+        drop(cache);
+        shared.stats.cache_evictions.add(evicted as u64);
     }
 
     // Eq. 6: Z_u = (1−α)·Ẑ_u + α·H_u, exactly as the training-side forward.
@@ -878,10 +1021,7 @@ fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
         });
     }
     drop(stale);
-    shared
-        .stats
-        .nodes_served
-        .fetch_add(nodes.len() as u64, Ordering::Relaxed);
-    shared.stats.batches_served.fetch_add(1, Ordering::Relaxed);
+    shared.stats.nodes_served.add(nodes.len() as u64);
+    shared.stats.batches_served.inc();
     Ok(out)
 }

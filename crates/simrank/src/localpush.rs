@@ -55,7 +55,21 @@ use crate::incremental::{DecomposedScores, RepairReport, SeedRun};
 use crate::{Result, SimRankConfig};
 use sigma_graph::Graph;
 use sigma_matrix::{kernels, CsrMatrix};
+use sigma_obs::StaticCounter;
 use sigma_parallel::{ScratchGuard, ScratchPool, ThreadPool};
+
+static LOCALPUSH_RUNS: StaticCounter = StaticCounter::new(
+    "sigma_localpush_runs_total",
+    "LocalPush solver runs (full solves and incremental seed re-runs)",
+);
+static LOCALPUSH_ROUNDS: StaticCounter = StaticCounter::new(
+    "sigma_localpush_rounds_total",
+    "frontier rounds executed across all LocalPush runs",
+);
+static LOCALPUSH_PUSHES: StaticCounter = StaticCounter::new(
+    "sigma_localpush_pushes_total",
+    "residual pushes performed across all LocalPush runs",
+);
 
 /// Sparse, symmetric similarity scores produced by [`LocalPush`].
 #[derive(Debug, Clone)]
@@ -410,9 +424,12 @@ impl LocalPush {
             residual.insert(key, 1.0);
         }
         self.pushes_performed = 0;
+        LOCALPUSH_RUNS.inc();
+        let _span = sigma_obs::span!("localpush_run", n);
         let pool = ThreadPool::global();
 
         while !frontier.is_empty() {
+            LOCALPUSH_ROUNDS.inc();
             let remaining = self.max_pushes.saturating_sub(self.pushes_performed);
             if remaining == 0 {
                 break;
@@ -443,6 +460,7 @@ impl LocalPush {
                 frontier_len_processed += out.absorbed.len();
             }
             self.pushes_performed += frontier_len_processed;
+            LOCALPUSH_PUSHES.add(frontier_len_processed as u64);
             // Merge pass 2 (chunk order): apply residual deltas. Distinct
             // keys touch independent accumulators and same-key contributions
             // are applied in chunk order, so the merged residual is
