@@ -1,32 +1,10 @@
-use crate::{kernels, DenseMatrix, MatrixError, Result};
+use crate::{CsrView, DenseMatrix, MatrixError, Result};
 use sigma_obs::StaticCounter;
 use sigma_parallel::{ScratchPool, ThreadPool};
 
-static SPMM_CALLS: StaticCounter = StaticCounter::new(
-    "sigma_spmm_calls_total",
-    "spmm (sparse x dense) kernel invocations that reached the compute path",
-);
-static SPMM_NNZ: StaticCounter =
-    StaticCounter::new("sigma_spmm_nnz_total", "stored entries processed by spmm");
-static SPMM_TRANSPOSE_CALLS: StaticCounter = StaticCounter::new(
-    "sigma_spmm_transpose_calls_total",
-    "spmm_transpose (backward operator product) invocations that reached the compute path",
-);
-static SPMM_TRANSPOSE_NNZ: StaticCounter = StaticCounter::new(
-    "sigma_spmm_transpose_nnz_total",
-    "stored entries processed by spmm_transpose",
-);
 static SPGEMM_CALLS: StaticCounter = StaticCounter::new(
     "sigma_spgemm_calls_total",
     "spgemm (sparse x sparse) invocations",
-);
-static SPMM_ROWS_CALLS: StaticCounter = StaticCounter::new(
-    "sigma_spmm_rows_calls_total",
-    "row-sliced spmm (serving batch) invocations that reached the compute path",
-);
-static SPMM_ROWS_ROWS: StaticCounter = StaticCounter::new(
-    "sigma_spmm_rows_rows_total",
-    "output rows produced by spmm_rows",
 );
 
 /// Reused Gustavson working set for [`CsrMatrix::spgemm`]: the dense
@@ -182,6 +160,42 @@ impl CsrMatrix {
         })
     }
 
+    /// Internal constructor for components whose invariants the caller has
+    /// already established (the view/kernel materialisers).
+    #[inline]
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), rows + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// A borrowed [`CsrView`] over this matrix's storage.
+    ///
+    /// The spmm-family methods below delegate to the view kernels, so owned
+    /// matrices and memory-mapped snapshot sections run identical code.
+    #[inline]
+    pub fn view(&self) -> CsrView<'_, usize> {
+        CsrView::from_parts_unchecked(
+            self.rows,
+            self.cols,
+            &self.indptr,
+            &self.indices,
+            &self.values,
+        )
+    }
+
     /// Identity operator of size `n`.
     pub fn identity(n: usize) -> Self {
         Self {
@@ -302,50 +316,7 @@ impl CsrMatrix {
     /// bit-exact), so the result is bitwise identical to the serial path at
     /// every thread count.
     pub fn spmm(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
-        if self.cols != rhs.rows() {
-            return Err(MatrixError::DimensionMismatch {
-                op: "spmm",
-                lhs: self.shape(),
-                rhs: rhs.shape(),
-            });
-        }
-        let f = rhs.cols();
-        let mut out = DenseMatrix::zeros(self.rows, f);
-        if f == 0 || self.rows == 0 {
-            return Ok(out);
-        }
-        SPMM_CALLS.inc();
-        SPMM_NNZ.add(self.nnz() as u64);
-        let _span = sigma_obs::span!("spmm", self.nnz());
-        let pool = ThreadPool::global();
-        if pool.should_parallelize(self.nnz().saturating_mul(f)) {
-            pool.par_row_blocks_mut_by_prefix(
-                out.as_mut_slice(),
-                f,
-                &self.indptr,
-                |first_row, block| {
-                    self.spmm_block(first_row, rhs, block);
-                },
-            );
-        } else {
-            self.spmm_block(0, rhs, out.as_mut_slice());
-        }
-        Ok(out)
-    }
-
-    /// Computes output rows `first_row ..` of `self · rhs` into `block`
-    /// (`block.len() / rhs.cols()` rows). Shared by the serial and parallel
-    /// paths of [`CsrMatrix::spmm`].
-    fn spmm_block(&self, first_row: usize, rhs: &DenseMatrix, block: &mut [f32]) {
-        let f = rhs.cols();
-        for (i, out_row) in block.chunks_exact_mut(f).enumerate() {
-            let r = first_row + i;
-            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
-            for idx in start..end {
-                let c = self.indices[idx] as usize;
-                kernels::axpy(out_row, self.values[idx], rhs.row(c));
-            }
-        }
+        self.view().spmm(rhs.view())
     }
 
     /// Transposed sparse × dense product: `selfᵀ · rhs`.
@@ -360,69 +331,7 @@ impl CsrMatrix {
     /// in the same `(input row, entry)` order, making the result bitwise
     /// identical to the serial scatter at every thread count.
     pub fn spmm_transpose(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
-        if self.rows != rhs.rows() {
-            return Err(MatrixError::DimensionMismatch {
-                op: "spmm_transpose",
-                lhs: self.shape(),
-                rhs: rhs.shape(),
-            });
-        }
-        let f = rhs.cols();
-        let mut out = DenseMatrix::zeros(self.cols, f);
-        if f == 0 || self.cols == 0 {
-            return Ok(out);
-        }
-        SPMM_TRANSPOSE_CALLS.inc();
-        SPMM_TRANSPOSE_NNZ.add(self.nnz() as u64);
-        let _span = sigma_obs::span!("spmm_transpose", self.nnz());
-        let pool = ThreadPool::global();
-        if pool.should_parallelize(self.nnz().saturating_mul(f)) {
-            // Each output row's work is its *column* count in `self`; one
-            // O(nnz) histogram pass feeds the nnz-balanced planner so a few
-            // super-popular columns do not serialise one thread.
-            let mut col_nnz = vec![0usize; self.cols];
-            for &c in &self.indices {
-                col_nnz[c as usize] += 1;
-            }
-            pool.par_row_blocks_mut_weighted(
-                out.as_mut_slice(),
-                f,
-                &col_nnz,
-                |first_col, block| {
-                    let cols_in_block = block.len() / f;
-                    let (c0, c1) = (first_col, first_col + cols_in_block);
-                    for r in 0..self.rows {
-                        let (start, end) = (self.indptr[r], self.indptr[r + 1]);
-                        let row_cols = &self.indices[start..end];
-                        // Entries are sorted by column within a row: hoist
-                        // the whole column window `[c0, c1)` out of the
-                        // entry loop (two binary searches per row) instead
-                        // of re-testing the upper bound per entry.
-                        let lo = start + row_cols.partition_point(|&c| (c as usize) < c0);
-                        let hi = start + row_cols.partition_point(|&c| (c as usize) < c1);
-                        if lo == hi {
-                            continue;
-                        }
-                        let rhs_row = rhs.row(r);
-                        for idx in lo..hi {
-                            let c = self.indices[idx] as usize;
-                            let out_row = &mut block[(c - c0) * f..(c - c0 + 1) * f];
-                            kernels::axpy(out_row, self.values[idx], rhs_row);
-                        }
-                    }
-                },
-            );
-        } else {
-            for r in 0..self.rows {
-                let (start, end) = (self.indptr[r], self.indptr[r + 1]);
-                let rhs_row = rhs.row(r);
-                for idx in start..end {
-                    let c = self.indices[idx] as usize;
-                    kernels::axpy(out.row_mut(c), self.values[idx], rhs_row);
-                }
-            }
-        }
-        Ok(out)
+        self.view().spmm_transpose(rhs.view())
     }
 
     /// Sparse × sparse product `self · rhs`, returned as CSR.
@@ -737,53 +646,7 @@ impl CsrMatrix {
     /// for a batch of `b` rows of a top-k operator this is `O(b·k·f)` versus
     /// the `O(n·k·f)` of a full [`CsrMatrix::spmm`].
     pub fn spmm_rows(&self, rows: &[usize], rhs: &DenseMatrix) -> Result<DenseMatrix> {
-        if self.cols != rhs.rows() {
-            return Err(MatrixError::DimensionMismatch {
-                op: "spmm_rows",
-                lhs: self.shape(),
-                rhs: rhs.shape(),
-            });
-        }
-        let f = rhs.cols();
-        let mut out = DenseMatrix::zeros(rows.len(), f);
-        let mut work = 0usize;
-        for &r in rows {
-            if r >= self.rows {
-                return Err(MatrixError::IndexOutOfBounds {
-                    row: r,
-                    col: 0,
-                    shape: self.shape(),
-                });
-            }
-            work = work.saturating_add(self.row_nnz(r));
-        }
-        if f == 0 || rows.is_empty() {
-            return Ok(out);
-        }
-        SPMM_ROWS_CALLS.inc();
-        SPMM_ROWS_ROWS.add(rows.len() as u64);
-        let _span = sigma_obs::span!("spmm_rows", work);
-        let slice_block = |first: usize, block: &mut [f32]| {
-            for (i, out_row) in block.chunks_exact_mut(f).enumerate() {
-                let r = rows[first + i];
-                let (start, end) = (self.indptr[r], self.indptr[r + 1]);
-                for idx in start..end {
-                    let c = self.indices[idx] as usize;
-                    kernels::axpy(out_row, self.values[idx], rhs.row(c));
-                }
-            }
-        };
-        let pool = ThreadPool::global();
-        if pool.should_parallelize(work.saturating_mul(f)) {
-            // The planner weights (selected-row nnz) are only materialised
-            // on the parallel path: small serving batches stay serial and
-            // must not pay an allocation for a plan they will not use.
-            let weights: Vec<usize> = rows.iter().map(|&r| self.row_nnz(r)).collect();
-            pool.par_row_blocks_mut_weighted(out.as_mut_slice(), f, &weights, slice_block);
-        } else {
-            slice_block(0, out.as_mut_slice());
-        }
-        Ok(out)
+        self.view().spmm_rows(rows, rhs.view())
     }
 
     /// Converts to a dense matrix. Intended for tests and small graphs only.

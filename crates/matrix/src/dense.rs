@@ -97,6 +97,14 @@ impl DenseMatrix {
         Self { rows, cols, data }
     }
 
+    /// A borrowed [`crate::DenseView`] over this matrix's storage, for the
+    /// view-first kernel API shared with memory-mapped snapshot sections.
+    #[inline]
+    pub fn view(&self) -> crate::DenseView<'_> {
+        crate::DenseView::new(self.rows, self.cols, &self.data)
+            .expect("owned storage is shape-consistent")
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {

@@ -34,10 +34,12 @@ mod csr;
 mod dense;
 mod error;
 pub mod kernels;
+mod view;
 
 pub use csr::{concat_row_parts, CsrMatrix};
 pub use dense::DenseMatrix;
 pub use error::MatrixError;
+pub use view::{CsrView, CsrViewAny, DenseView};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -541,15 +541,17 @@ impl ThreadPool {
     /// `prefix` has one entry per row boundary (`rows + 1` values,
     /// non-decreasing), exactly the shape of a CSR `indptr` array, so sparse
     /// kernels can plan nnz-balanced blocks with no intermediate weight
-    /// vector.
-    pub fn par_row_blocks_mut_by_prefix<T, F>(
+    /// vector. Generic over the prefix word width (see [`PrefixWord`]) so
+    /// memory-mapped `u32`/`u64` `indptr` sections plan in place.
+    pub fn par_row_blocks_mut_by_prefix<T, P, F>(
         &self,
         data: &mut [T],
         width: usize,
-        prefix: &[usize],
+        prefix: &[P],
         f: F,
     ) where
         T: Send,
+        P: PrefixWord,
         F: Fn(usize, &mut [T]) + Sync,
     {
         if data.is_empty() {
@@ -642,10 +644,12 @@ impl ThreadPool {
 
     /// Prefix-sum variant of [`ThreadPool::par_map_ranges_weighted`]:
     /// `prefix` holds `rows + 1` non-decreasing cumulative weights (the CSR
-    /// `indptr` shape), avoiding an intermediate weight vector.
-    pub fn par_map_ranges_by_prefix<R, F>(&self, prefix: &[usize], f: F) -> Vec<R>
+    /// `indptr` shape), avoiding an intermediate weight vector. Generic over
+    /// the prefix word width (see [`PrefixWord`]).
+    pub fn par_map_ranges_by_prefix<R, P, F>(&self, prefix: &[P], f: F) -> Vec<R>
     where
         R: Send,
+        P: PrefixWord,
         F: Fn(Range<usize>) -> R + Sync,
     {
         self.map_ranges(partition_by_prefix(prefix, self.num_threads()), f)
@@ -917,6 +921,40 @@ fn split_into(n: usize, parts: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
+/// An integer word usable as a cumulative prefix entry by the nnz-balanced
+/// planners ([`partition_by_prefix`] and the `*_by_prefix` pool methods).
+///
+/// CSR `indptr` arrays live in memory as `usize`, but the zero-copy snapshot
+/// format maps them straight off disk as `u32` or `u64` words; implementing
+/// this trait for all three lets the planner walk any of them without a
+/// widening copy. Values must fit `usize` — prefix entries are in-memory
+/// element counts, which always do on the 64-bit targets this crate supports.
+pub trait PrefixWord: Copy + Send + Sync + Ord + std::fmt::Debug {
+    /// Widens the word to `usize` (lossless for in-memory element counts).
+    fn as_usize(self) -> usize;
+}
+
+impl PrefixWord for usize {
+    #[inline]
+    fn as_usize(self) -> usize {
+        self
+    }
+}
+
+impl PrefixWord for u32 {
+    #[inline]
+    fn as_usize(self) -> usize {
+        self as usize
+    }
+}
+
+impl PrefixWord for u64 {
+    #[inline]
+    fn as_usize(self) -> usize {
+        self as usize
+    }
+}
+
 /// Cuts `0..weights.len()` into at most `parts` contiguous, non-empty
 /// ranges of near-equal total weight.
 ///
@@ -949,8 +987,10 @@ pub fn partition_by_weight(weights: &[usize], parts: usize) -> Vec<Range<usize>>
 /// `prefix` holds `n + 1` non-decreasing values and item `i` weighs
 /// `prefix[i + 1] - prefix[i]` — exactly the shape of a CSR `indptr`, which
 /// sparse kernels pass directly. Cut points are found by binary search, so
-/// planning costs `O(parts · log n)`.
-pub fn partition_by_prefix(prefix: &[usize], parts: usize) -> Vec<Range<usize>> {
+/// planning costs `O(parts · log n)`. Generic over the prefix word width
+/// (see [`PrefixWord`]) so memory-mapped `u32`/`u64` `indptr` sections plan
+/// without a widening copy.
+pub fn partition_by_prefix<P: PrefixWord>(prefix: &[P], parts: usize) -> Vec<Range<usize>> {
     assert!(!prefix.is_empty(), "prefix holds n + 1 entries");
     debug_assert!(
         prefix.windows(2).all(|w| w[1] >= w[0]),
@@ -964,8 +1004,8 @@ pub fn partition_by_prefix(prefix: &[usize], parts: usize) -> Vec<Range<usize>> 
     if parts == 1 {
         return std::iter::once(0..n).collect();
     }
-    let base = prefix[0];
-    let total = prefix[n] - base;
+    let base = prefix[0].as_usize();
+    let total = prefix[n].as_usize() - base;
     if total == 0 {
         // Every item weighs nothing: fall back to the equal-count split so
         // zero-heavy inputs still use all threads.
@@ -981,7 +1021,7 @@ pub fn partition_by_prefix(prefix: &[usize], parts: usize) -> Vec<Range<usize>> 
             // Smallest index whose cumulative weight reaches this part's
             // share of the total (u128: `total * parts` may overflow usize).
             let target = base + ((total as u128 * (p as u128 + 1)) / parts as u128) as usize;
-            start + prefix[start..=n].partition_point(|&x| x < target)
+            start + prefix[start..=n].partition_point(|&x| x.as_usize() < target)
         };
         if end > start {
             ranges.push(start..end);
@@ -994,7 +1034,7 @@ pub fn partition_by_prefix(prefix: &[usize], parts: usize) -> Vec<Range<usize>> 
         // task wall-time imbalance recorded by the execution primitives.
         let max_w = ranges
             .iter()
-            .map(|r| prefix[r.end] - prefix[r.start])
+            .map(|r| prefix[r.end].as_usize() - prefix[r.start].as_usize())
             .max()
             .unwrap_or(0);
         let ideal = total as f64 / ranges.len() as f64;

@@ -32,16 +32,17 @@
 
 use crate::cache::LruCache;
 use crate::forward::{compute_embeddings, compute_embeddings_rows};
+use crate::mmap::MappedSnapshot;
 use crate::snapshot::ServeSnapshot;
+use crate::store::{CsrSection, CsrStore, DenseSection, DenseStore, ModelRef};
 use crate::{Result, ServeError};
-use sigma::snapshot::ModelSnapshot;
-use sigma_matrix::{CsrMatrix, DenseMatrix};
+use sigma_matrix::{CsrMatrix, CsrViewAny, DenseMatrix};
 use sigma_obs::{Counter, Histogram, Registry, Stopwatch};
 use sigma_parallel::ThreadPool;
 use sigma_simrank::{DynamicSimRank, EdgeUpdate, RepairOutcome};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Tuning knobs of the [`InferenceEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -177,6 +178,10 @@ pub struct EngineStats {
     /// Dirty seed pairs re-pushed by the maintainer across all incremental
     /// repairs driven through [`InferenceEngine::repair_from`].
     pub repair_dirty_seeds: u64,
+    /// Whole-snapshot hot reloads applied via
+    /// [`InferenceEngine::hot_reload`] /
+    /// [`InferenceEngine::hot_reload_mapped`].
+    pub snapshot_reloads: u64,
 }
 
 /// The engine's live counters and latency histograms, built on `sigma_obs`
@@ -201,6 +206,7 @@ struct EngineMetrics {
     rows_repaired: Arc<Counter>,
     embedding_rows_repaired: Arc<Counter>,
     repair_dirty_seeds: Arc<Counter>,
+    snapshot_reloads: Arc<Counter>,
     /// Wall time of [`InferenceEngine::predict`] calls, nanoseconds.
     predict_ns: Arc<Histogram>,
     /// Wall time of [`InferenceEngine::predict_batch`] calls, nanoseconds.
@@ -221,6 +227,7 @@ impl EngineMetrics {
             rows_repaired: Arc::new(Counter::new()),
             embedding_rows_repaired: Arc::new(Counter::new()),
             repair_dirty_seeds: Arc::new(Counter::new()),
+            snapshot_reloads: Arc::new(Counter::new()),
             predict_ns: Arc::new(Histogram::new()),
             predict_batch_ns: Arc::new(Histogram::new()),
         };
@@ -281,6 +288,11 @@ impl EngineMetrics {
                 "dirty seed pairs re-pushed by the maintainer during repairs",
                 &metrics.repair_dirty_seeds,
             );
+            registry.register_arc_counter(
+                "sigma_serve_snapshot_reloads_total",
+                "whole-snapshot hot reloads applied",
+                &metrics.snapshot_reloads,
+            );
             registry.register_arc_histogram(
                 "sigma_serve_predict_ns",
                 "single-node predict latency in nanoseconds",
@@ -310,6 +322,7 @@ impl EngineMetrics {
             rows_repaired: self.rows_repaired.get(),
             embedding_rows_repaired: self.embedding_rows_repaired.get(),
             repair_dirty_seeds: self.repair_dirty_seeds.get(),
+            snapshot_reloads: self.snapshot_reloads.get(),
         }
     }
 }
@@ -317,41 +330,60 @@ impl EngineMetrics {
 /// The aggregation operator plus its transposed sparsity pattern (used to
 /// find the rows that reference an updated node during invalidation).
 struct OperatorState {
-    matrix: CsrMatrix,
-    reverse: CsrMatrix,
+    matrix: CsrStore,
+    /// Transposed pattern, materialised lazily on the first invalidation or
+    /// repair that needs it: an engine serving straight out of a mapped
+    /// snapshot must not pay an O(nnz) transpose at cold start. `OnceLock`
+    /// lets racing readers initialise it under the state *read* lock.
+    reverse: OnceLock<CsrMatrix>,
 }
 
 impl OperatorState {
-    fn new(matrix: CsrMatrix) -> Self {
-        let reverse = matrix.transpose();
-        Self { matrix, reverse }
+    fn new(matrix: CsrStore) -> Self {
+        Self {
+            matrix,
+            reverse: OnceLock::new(),
+        }
+    }
+
+    /// The transposed operator, built on first use and cached until the
+    /// matrix is next patched.
+    fn reverse(&self) -> &CsrMatrix {
+        self.reverse
+            .get_or_init(|| self.matrix.view().transpose_owned())
     }
 }
 
 /// Everything a query must observe as one consistent unit: the embedding,
-/// the adjacency it was encoded from, and the aggregation operator. Batches
-/// take the read side; operator swaps and incremental repairs take the
-/// write side, so a batch never sees a half-patched state.
+/// the adjacency it was encoded from, the aggregation operator, and the
+/// inputs (features, weights, `α`) they were derived from. Batches take
+/// the read side; operator swaps, incremental repairs and snapshot hot
+/// reloads take the write side, so a batch never sees a half-patched
+/// state. Every matrix is held as an owned-or-mapped store, so the same
+/// engine serves decoded v1 snapshots and zero-copy v2 mappings through
+/// identical code paths.
 struct ServingState {
     /// Precomputed full-graph embedding `H` (`n × C`).
-    embeddings: DenseMatrix,
+    embeddings: DenseStore,
     /// Adjacency the embedding was computed from, kept in sync by repairs;
     /// also the source of first-order invalidation regions.
-    adjacency: CsrMatrix,
+    adjacency: CsrStore,
     /// Constant aggregation operator (`None` = SIGMA w/o S: `Ẑ = H`).
     operator: Option<OperatorState>,
+    /// Node features `X`, the dense half of the encoder input (repairs
+    /// re-encode `H` rows from it).
+    features: DenseStore,
+    /// Encoder weights, decoded lazily on the mapped path (only the repair
+    /// path needs them).
+    model: ModelRef,
+    /// Effective local/global balance `α`.
+    alpha: f32,
 }
 
 struct Shared {
     state: RwLock<ServingState>,
-    /// Exported encoder weights, retained so repairs can re-encode the `H`
-    /// rows of edited nodes.
-    model: ModelSnapshot,
-    /// Node features `X`, the dense half of the encoder input.
-    features: DenseMatrix,
-    /// Effective local/global balance `α`.
-    alpha: f32,
-    /// Node and class counts (immutable over the engine's lifetime).
+    /// Node and class counts (immutable over the engine's lifetime; hot
+    /// reloads must match them).
     num_nodes: usize,
     num_classes: usize,
     /// Bounded memo of aggregated rows.
@@ -407,25 +439,107 @@ impl std::fmt::Debug for InferenceEngine {
 }
 
 impl InferenceEngine {
-    /// Builds an engine from a snapshot: validates the configuration against
-    /// the shared thread pool and runs the encoder once over the full graph.
+    /// Builds an engine from a decoded snapshot: validates the
+    /// configuration against the shared thread pool and runs the encoder
+    /// once over the full graph (or adopts the snapshot's precomputed
+    /// embeddings when present).
     pub fn new(snapshot: &ServeSnapshot, config: EngineConfig) -> Result<Self> {
         config.validate(ThreadPool::global())?;
         snapshot.model.validate()?;
-        let embeddings =
-            compute_embeddings(&snapshot.model, &snapshot.features, &snapshot.adjacency)?;
-        let operator = snapshot.model.operator.clone().map(OperatorState::new);
-        let num_nodes = embeddings.rows();
-        let num_classes = embeddings.cols();
-        let shared = Arc::new(Shared {
-            state: RwLock::new(ServingState {
-                embeddings,
-                adjacency: snapshot.adjacency.clone(),
-                operator,
-            }),
-            model: snapshot.model.clone(),
-            features: snapshot.features.clone(),
+        let state = Self::owned_state(snapshot)?;
+        Ok(Self::from_state(state, config))
+    }
+
+    /// Builds an engine serving straight out of a mapped v2 snapshot —
+    /// zero copy, O(1) in the graph size when the snapshot carries
+    /// precomputed embeddings (otherwise the encoder runs once, as
+    /// [`InferenceEngine::new`] would).
+    ///
+    /// Verifies the mapping first (checksums + CSR invariants; cached, so
+    /// repeated engines off one mapping pay it once). The engine holds the
+    /// [`Arc`], pinning the mapping for its lifetime; results are bitwise
+    /// identical to an engine built from the decoded snapshot.
+    pub fn from_mapped(snapshot: Arc<MappedSnapshot>, config: EngineConfig) -> Result<Self> {
+        config.validate(ThreadPool::global())?;
+        let state = Self::mapped_state(snapshot)?;
+        Ok(Self::from_state(state, config))
+    }
+
+    /// Serving state for the owned (decoded) path.
+    fn owned_state(snapshot: &ServeSnapshot) -> Result<ServingState> {
+        let embeddings = match &snapshot.embeddings {
+            Some(h) => {
+                if h.shape() != (snapshot.num_nodes(), snapshot.model.num_classes()) {
+                    return Err(ServeError::Corrupt {
+                        reason: format!(
+                            "precomputed embeddings {:?} do not match the model's {} × {} output",
+                            h.shape(),
+                            snapshot.num_nodes(),
+                            snapshot.model.num_classes()
+                        ),
+                    });
+                }
+                h.clone()
+            }
+            None => compute_embeddings(&snapshot.model, &snapshot.features, &snapshot.adjacency)?,
+        };
+        Ok(ServingState {
+            embeddings: DenseStore::Owned(embeddings),
+            adjacency: CsrStore::Owned(snapshot.adjacency.clone()),
+            operator: snapshot
+                .model
+                .operator
+                .clone()
+                .map(|m| OperatorState::new(CsrStore::Owned(m))),
+            features: DenseStore::Owned(snapshot.features.clone()),
+            model: ModelRef::Owned(Arc::new(snapshot.model.clone())),
             alpha: snapshot.model.effective_alpha() as f32,
+        })
+    }
+
+    /// Serving state borrowing a verified mapping.
+    fn mapped_state(snap: Arc<MappedSnapshot>) -> Result<ServingState> {
+        snap.verify()?;
+        let embeddings = if snap.has_embeddings() {
+            DenseStore::Mapped {
+                snap: snap.clone(),
+                section: DenseSection::Embeddings,
+            }
+        } else {
+            // No EMB section: encode `H` once from the mapped inputs (the
+            // O(n) fallback — write snapshots with
+            // `ServeSnapshot::precompute_embeddings` to skip it).
+            let model = snap.model()?;
+            let features = snap.features_view().to_owned_matrix();
+            let adjacency = snap.adjacency_view().to_owned_matrix()?;
+            DenseStore::Owned(compute_embeddings(&model, &features, &adjacency)?)
+        };
+        Ok(ServingState {
+            embeddings,
+            adjacency: CsrStore::Mapped {
+                snap: snap.clone(),
+                section: CsrSection::Adjacency,
+            },
+            operator: snap.has_operator().then(|| {
+                OperatorState::new(CsrStore::Mapped {
+                    snap: snap.clone(),
+                    section: CsrSection::Operator,
+                })
+            }),
+            features: DenseStore::Mapped {
+                snap: snap.clone(),
+                section: DenseSection::Features,
+            },
+            alpha: snap.effective_alpha() as f32,
+            model: ModelRef::Mapped(snap),
+        })
+    }
+
+    fn from_state(state: ServingState, config: EngineConfig) -> Self {
+        let num_nodes = state.embeddings.rows();
+        let num_classes = state.embeddings.view().cols();
+        let shared = Arc::new(Shared {
+            state: RwLock::new(state),
             num_nodes,
             num_classes,
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
@@ -433,7 +547,67 @@ impl InferenceEngine {
             epoch: AtomicU64::new(0),
             stats: EngineMetrics::new(),
         });
-        Ok(Self { shared, config })
+        Self { shared, config }
+    }
+
+    /// Atomically replaces the entire served state — embeddings,
+    /// adjacency, operator, features, weights, `α` — with a new snapshot
+    /// of the *same* graph dimensions, under the operator-epoch guard: one
+    /// write-lock swap, an epoch bump so racing batches cannot cache
+    /// pre-reload rows, and a cache + staleness clear. Queries racing the
+    /// reload serve a consistent answer from one state or the other, never
+    /// a blend.
+    pub fn hot_reload(&self, snapshot: &ServeSnapshot) -> Result<()> {
+        snapshot.model.validate()?;
+        let state = Self::owned_state(snapshot)?;
+        self.swap_state(state)
+    }
+
+    /// [`InferenceEngine::hot_reload`] for a mapped v2 snapshot: the engine
+    /// switches to serving out of the new mapping zero-copy (verifying it
+    /// first) and drops its reference to the old one.
+    pub fn hot_reload_mapped(&self, snapshot: Arc<MappedSnapshot>) -> Result<()> {
+        let state = Self::mapped_state(snapshot)?;
+        self.swap_state(state)
+    }
+
+    fn swap_state(&self, new_state: ServingState) -> Result<()> {
+        let n = new_state.embeddings.rows();
+        let classes = new_state.embeddings.view().cols();
+        if n != self.shared.num_nodes {
+            return Err(ServeError::OperatorMismatch {
+                got: (n, n),
+                expected: self.shared.num_nodes,
+            });
+        }
+        if classes != self.shared.num_classes {
+            return Err(ServeError::Corrupt {
+                reason: format!(
+                    "reloaded snapshot serves {} classes, engine was built for {}",
+                    classes, self.shared.num_classes
+                ),
+            });
+        }
+        {
+            let mut state = self.write_state();
+            *state = new_state;
+            // Bump the generation while still holding the write lock, so an
+            // in-flight batch that computed rows against the old state
+            // observes a changed epoch and skips caching them.
+            self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+            self.shared
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .clear();
+        }
+        self.shared
+            .stale
+            .lock()
+            .expect("stale lock poisoned")
+            .clear();
+        self.shared.stats.snapshot_reloads.inc();
+        Ok(())
     }
 
     /// Number of nodes the engine serves.
@@ -448,7 +622,11 @@ impl InferenceEngine {
 
     /// The effective `α` blended at serve time.
     pub fn alpha(&self) -> f32 {
-        self.shared.alpha
+        self.shared
+            .state
+            .read()
+            .expect("serving state poisoned")
+            .alpha
     }
 
     /// A copy of the aggregation operator currently served (`None` when the
@@ -461,7 +639,7 @@ impl InferenceEngine {
             .expect("serving state poisoned")
             .operator
             .as_ref()
-            .map(|state| state.matrix.clone())
+            .map(|state| state.matrix.to_matrix())
     }
 
     /// Serves a single node.
@@ -509,13 +687,14 @@ impl InferenceEngine {
         // one unit here and are rejected by `serve_batch` as before.
         let chunk_weights: Vec<usize> = {
             let state = self.shared.state.read().expect("serving state poisoned");
+            let op_view = state.operator.as_ref().map(|op| op.matrix.view());
             chunks
                 .iter()
                 .map(|chunk| {
                     chunk
                         .iter()
-                        .map(|&node| match state.operator.as_ref() {
-                            Some(op) if node < op.matrix.rows() => 1 + op.matrix.row_nnz(node),
+                        .map(|&node| match op_view {
+                            Some(op) if node < op.rows() => 1 + op.row_nnz(node),
                             _ => 1,
                         })
                         .sum()
@@ -560,6 +739,7 @@ impl InferenceEngine {
         let mut affected: HashSet<usize> = HashSet::new();
         {
             let state = self.shared.state.read().expect("serving state poisoned");
+            let adjacency = state.adjacency.view();
             for &update in updates {
                 let (u, v) = match update {
                     EdgeUpdate::Insert(u, v) | EdgeUpdate::Delete(u, v) => (u, v),
@@ -572,8 +752,8 @@ impl InferenceEngine {
                 }
                 for endpoint in [u, v] {
                     affected.insert(endpoint);
-                    for (nb, _) in state.adjacency.row_iter(endpoint) {
-                        affected.insert(nb);
+                    for &nb in adjacency.row_cols(endpoint) {
+                        affected.insert(nb as usize);
                     }
                 }
             }
@@ -668,26 +848,30 @@ impl InferenceEngine {
         // Re-encode exactly the nodes whose adjacency rows differ. The diff
         // is against the engine's own copy, so it also catches edits the
         // maintainer absorbed before this engine ever synced. Both the diff
-        // and the re-encode run *before* the write lock: the encoder
-        // dispatches onto the shared pool, and the pool's help-first join
-        // may hand this thread a queued serve-batch task that needs the
-        // state read lock — dispatching while holding the write lock would
-        // self-deadlock. (Maintenance calls are externally serialised, and
-        // queries never mutate the state, so the diff cannot go stale
-        // between here and the write section below.)
-        let embedding_rows = {
+        // and the re-encode run under the *read* lock, never the write
+        // lock: the encoder dispatches onto the shared pool, and the pool's
+        // help-first join may hand this thread a queued serve-batch task
+        // that needs the state read lock — dispatching while holding the
+        // write lock would self-deadlock. (Maintenance calls are externally
+        // serialised, and queries never mutate the state, so the diff
+        // cannot go stale between here and the write section below.)
+        let (embedding_rows, patched_h) = {
             let state = self.shared.state.read().expect("serving state poisoned");
-            changed_adjacency_rows(&state.adjacency, &adjacency_new)
-        };
-        let patched_h = if embedding_rows.is_empty() {
-            None
-        } else {
-            Some(compute_embeddings_rows(
-                &self.shared.model,
-                &self.shared.features,
-                &adjacency_new,
-                &embedding_rows,
-            )?)
+            let rows = changed_adjacency_rows(state.adjacency.view(), &adjacency_new);
+            let patched = if rows.is_empty() {
+                None
+            } else {
+                // Mapped engines decode the model here, on first repair —
+                // the one maintenance path that needs the weights.
+                let model = state.model.get()?;
+                Some(compute_embeddings_rows(
+                    &model,
+                    state.features.view(),
+                    &adjacency_new,
+                    &rows,
+                )?)
+            };
+            (rows, patched)
         };
 
         let full_refresh = full_operator.is_some();
@@ -696,23 +880,26 @@ impl InferenceEngine {
         {
             let mut state = self.write_state();
             if let Some(patched_h) = &patched_h {
+                // Copy-on-write: a mapped embedding section is promoted to
+                // an owned matrix before the first in-place patch.
+                let embeddings = state.embeddings.make_owned();
                 for (i, &row) in embedding_rows.iter().enumerate() {
-                    state
-                        .embeddings
-                        .row_mut(row)
-                        .copy_from_slice(patched_h.row(i));
+                    embeddings.row_mut(row).copy_from_slice(patched_h.row(i));
                 }
             }
-            state.adjacency = adjacency_new;
+            state.adjacency = CsrStore::Owned(adjacency_new);
             if let Some(operator) = full_operator {
-                state.operator = Some(OperatorState::new(operator));
+                state.operator = Some(OperatorState::new(CsrStore::Owned(operator)));
             } else if let Some(patch) = operator_patch {
                 let operator = state
                     .operator
                     .as_mut()
                     .expect("patch path implies an operator");
-                operator.matrix = operator.matrix.replace_rows(&operator_rows, &patch)?;
-                operator.reverse = operator.matrix.transpose();
+                let matrix = operator.matrix.make_owned()?;
+                let patched = matrix.replace_rows(&operator_rows, &patch)?;
+                *matrix = patched;
+                // The cached transpose is stale now; rebuild lazily.
+                operator.reverse = OnceLock::new();
             }
             // Bump the generation while still holding the write lock, so an
             // in-flight batch that computed rows against the pre-repair
@@ -724,9 +911,12 @@ impl InferenceEngine {
             let mut invalid: HashSet<usize> = operator_rows.iter().copied().collect();
             match state.operator.as_ref() {
                 Some(operator) => {
-                    for &node in &embedding_rows {
-                        for (row, _) in operator.reverse.row_iter(node) {
-                            invalid.insert(row);
+                    if !embedding_rows.is_empty() {
+                        let reverse = operator.reverse();
+                        for &node in &embedding_rows {
+                            for (row, _) in reverse.row_iter(node) {
+                                invalid.insert(row);
+                            }
                         }
                     }
                 }
@@ -793,7 +983,10 @@ impl InferenceEngine {
                 expected: n,
             });
         }
-        let new_state = OperatorState::new(operator);
+        let new_state = OperatorState::new(CsrStore::Owned(operator));
+        // Materialise the transpose outside the lock (as the eager path
+        // always did for installs) so the write section stays short.
+        new_state.reverse();
         {
             let mut state = self.write_state();
             state.operator = Some(new_state);
@@ -874,9 +1067,10 @@ impl InferenceEngine {
         {
             let state = self.shared.state.read().expect("serving state poisoned");
             if let Some(operator) = state.operator.as_ref() {
+                let reverse = operator.reverse();
                 for &a in affected {
-                    if a < operator.reverse.rows() {
-                        for (row, _) in operator.reverse.row_iter(a) {
+                    if a < reverse.rows() {
+                        for (row, _) in reverse.row_iter(a) {
                             rows.insert(row);
                         }
                     }
@@ -902,14 +1096,12 @@ impl InferenceEngine {
 }
 
 /// Rows on which two equal-shape CSR matrices differ (indices or values).
-fn changed_adjacency_rows(old: &CsrMatrix, new: &CsrMatrix) -> Vec<usize> {
+fn changed_adjacency_rows(old: CsrViewAny<'_>, new: &CsrMatrix) -> Vec<usize> {
     debug_assert_eq!(old.shape(), new.shape());
     (0..old.rows())
         .filter(|&r| {
-            let (os, oe) = (old.indptr()[r], old.indptr()[r + 1]);
             let (ns, ne) = (new.indptr()[r], new.indptr()[r + 1]);
-            old.indices()[os..oe] != new.indices()[ns..ne]
-                || old.values()[os..oe] != new.values()[ns..ne]
+            old.row_cols(r) != &new.indices()[ns..ne] || old.row_vals(r) != &new.values()[ns..ne]
         })
         .collect()
 }
@@ -936,7 +1128,7 @@ fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
     let mut cached = vec![false; nodes.len()];
     let mut misses: Vec<usize> = Vec::new();
     let mut miss_slots: Vec<usize> = Vec::new();
-    let (computed, h_rows, computed_epoch): (DenseMatrix, DenseMatrix, u64) = {
+    let (computed, h_rows, computed_epoch, alpha): (DenseMatrix, DenseMatrix, u64, f32) = {
         let state = shared.state.read().expect("serving state poisoned");
         // Capture the generation while holding the state lock, pairing the
         // epoch with the matrices the rows are computed from.
@@ -956,16 +1148,20 @@ fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
                 }
             }
         }
+        // Both the owned and the mapped embedding store serve through the
+        // same borrowed view, so an engine on a v2 mapping reads `H` rows
+        // straight off the file pages here.
+        let embeddings = state.embeddings.view();
         let computed = if misses.is_empty() {
             DenseMatrix::zeros(0, classes)
         } else {
             match state.operator.as_ref() {
-                Some(operator) => operator.matrix.spmm_rows(&misses, &state.embeddings)?,
-                None => state.embeddings.select_rows(&misses)?,
+                Some(operator) => operator.matrix.view().spmm_rows(&misses, embeddings)?,
+                None => embeddings.select_rows(&misses)?,
             }
         };
-        let h_rows = state.embeddings.select_rows(nodes)?;
-        (computed, h_rows, epoch)
+        let h_rows = embeddings.select_rows(nodes)?;
+        (computed, h_rows, epoch, state.alpha)
     };
     shared
         .stats
@@ -991,7 +1187,6 @@ fn serve_batch(shared: &Shared, nodes: &[usize]) -> Result<Vec<Prediction>> {
     }
 
     // Eq. 6: Z_u = (1−α)·Ẑ_u + α·H_u, exactly as the training-side forward.
-    let alpha = shared.alpha;
     let stale = shared.stale.lock().expect("stale lock poisoned");
     let mut out = Vec::with_capacity(nodes.len());
     for (slot, &node) in nodes.iter().enumerate() {

@@ -1,5 +1,135 @@
 use std::fmt;
 
+/// Typed failures of the zero-copy (format v2) snapshot reader.
+///
+/// Every variant names the exact structural rule a mapped file violated, so
+/// corrupt-snapshot tests can assert the failure mode and operators can see
+/// *what* is wrong from the error alone. Produced by
+/// [`crate::MappedSnapshot`] at open (`O(#sections)` header checks) and
+/// verify (`O(bytes)` checksums and CSR invariants) time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file ends before a named structure is complete.
+    Truncated {
+        /// The structure that was cut short (prelude, table, section…).
+        what: String,
+    },
+    /// The first eight bytes are not the `SIGMASNP` magic.
+    BadMagic,
+    /// The version field names a format this reader does not map.
+    UnsupportedVersion {
+        /// Version found at byte offset 8.
+        found: u32,
+    },
+    /// The host cannot serve this file zero-copy (e.g. a big-endian CPU
+    /// reading the little-endian section arrays).
+    UnsupportedPlatform {
+        /// Why the platform cannot map the file.
+        reason: &'static str,
+    },
+    /// A section's file offset breaks the 64-byte alignment rule.
+    Misaligned {
+        /// Tag of the offending section.
+        tag: String,
+        /// The unaligned offset recorded in the header table.
+        offset: u64,
+    },
+    /// Two sections' byte ranges overlap (or a section overlaps the header).
+    Overlap {
+        /// Tag of the earlier section.
+        a: String,
+        /// Tag of the overlapping section.
+        b: String,
+    },
+    /// The same tag appears twice in the header table.
+    DuplicateSection {
+        /// The repeated tag.
+        tag: String,
+    },
+    /// A section required by the META description is absent.
+    MissingSection {
+        /// The missing tag.
+        tag: &'static str,
+    },
+    /// A section's byte length disagrees with the dimensions in META.
+    SectionSize {
+        /// Tag of the offending section.
+        tag: String,
+        /// Length implied by META.
+        expected: u64,
+        /// Length recorded in the header table.
+        actual: u64,
+    },
+    /// A section's bytes do not match its header-table CRC32.
+    ChecksumMismatch {
+        /// Tag of the corrupted section.
+        tag: String,
+    },
+    /// A mapped CSR section violates a structural invariant (non-monotone
+    /// `indptr`, out-of-range or unsorted column indices).
+    InvalidCsr {
+        /// Which matrix is malformed (`adjacency` or `operator`).
+        section: &'static str,
+        /// The invariant that failed.
+        detail: String,
+    },
+    /// The META section itself cannot be decoded or is self-inconsistent.
+    Meta {
+        /// What is wrong with META.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { what } => {
+                write!(f, "file ends before the {what} is complete")
+            }
+            SnapshotError::BadMagic => write!(f, "missing SIGMASNP magic; not a snapshot file"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "format version {found} cannot be memory-mapped (v2 only)"
+                )
+            }
+            SnapshotError::UnsupportedPlatform { reason } => {
+                write!(f, "platform cannot map this snapshot: {reason}")
+            }
+            SnapshotError::Misaligned { tag, offset } => {
+                write!(
+                    f,
+                    "section {tag} at offset {offset} breaks 64-byte alignment"
+                )
+            }
+            SnapshotError::Overlap { a, b } => write!(f, "sections {a} and {b} overlap"),
+            SnapshotError::DuplicateSection { tag } => {
+                write!(f, "section tag {tag} appears twice in the header table")
+            }
+            SnapshotError::MissingSection { tag } => {
+                write!(f, "required section {tag} is missing")
+            }
+            SnapshotError::SectionSize {
+                tag,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "section {tag} is {actual} bytes but META implies {expected}"
+            ),
+            SnapshotError::ChecksumMismatch { tag } => {
+                write!(f, "section {tag} fails its CRC32 checksum")
+            }
+            SnapshotError::InvalidCsr { section, detail } => {
+                write!(f, "{section} CSR section is structurally invalid: {detail}")
+            }
+            SnapshotError::Meta { reason } => write!(f, "invalid META section: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// Errors produced by snapshot persistence and the inference engine.
 #[derive(Debug)]
 pub enum ServeError {
@@ -44,6 +174,8 @@ pub enum ServeError {
         /// What exactly is wrong and how to fix it.
         reason: &'static str,
     },
+    /// A zero-copy (format v2) snapshot failed a structural check.
+    Snapshot(SnapshotError),
     /// An underlying model-layer error.
     Model(sigma::SigmaError),
     /// An underlying matrix error.
@@ -79,6 +211,7 @@ impl fmt::Display for ServeError {
                 "invalid worker configuration ({workers} workers against a shared pool of \
                  {pool_threads} threads): {reason}"
             ),
+            ServeError::Snapshot(e) => write!(f, "snapshot format error: {e}"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Matrix(e) => write!(f, "matrix error: {e}"),
             ServeError::Nn(e) => write!(f, "nn error: {e}"),
@@ -91,6 +224,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Io(e) => Some(e),
+            ServeError::Snapshot(e) => Some(e),
             ServeError::Model(e) => Some(e),
             ServeError::Matrix(e) => Some(e),
             ServeError::Nn(e) => Some(e),
@@ -103,6 +237,12 @@ impl std::error::Error for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
     }
 }
 

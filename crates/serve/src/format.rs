@@ -1,0 +1,421 @@
+//! Snapshot format v2: fixed-endian, 64-byte-aligned sections behind a
+//! header table.
+//!
+//! ## Layout
+//!
+//! ```text
+//! offset 0   magic            8 bytes  b"SIGMASNP"
+//! offset 8   version          u32 LE   = 2
+//! offset 12  section_count    u32 LE
+//! offset 16  section table    section_count × 32-byte entries
+//!            ┌ tag      [u8; 8]  ASCII, space-padded
+//!            ├ offset   u64 LE   absolute, multiple of 64
+//!            ├ len      u64 LE   payload bytes (not padded)
+//!            ├ crc32    u32 LE   IEEE CRC32 of the payload
+//!            └ pad      u32      zero
+//! ...        section payloads, each starting on a 64-byte boundary
+//! ```
+//!
+//! Array sections (`ADJ_*`, `OP_*`, `FEAT`, `EMB`) are raw little-endian
+//! element arrays — `u32`/`u64` row pointers, `u32` column indices, `f32`
+//! values — so a little-endian host can serve them in place after mapping
+//! the file, with no decode step. Row pointers are `u32` when nnz < 2³²
+//! (the fast path) and `u64` otherwise; META records which. `META` and
+//! `MODEL` are small length-prefixed blobs in the v1 [`crate::codec`]
+//! encoding; `MODEL` stores the [`ModelSnapshot`] with its operator
+//! *stripped* (the operator lives in the `OP_*` array sections and is
+//! re-attached on decode).
+
+use crate::codec;
+use crate::{Result, ServeError};
+use sigma::snapshot::{MlpWeights, ModelSnapshot};
+use sigma::AggregatorKind;
+use std::io::{Read, Write};
+
+/// Bytes before the section table: magic + version + section count.
+pub(crate) const PRELUDE_LEN: usize = 16;
+/// Size of one section-table entry.
+pub(crate) const ENTRY_LEN: usize = 32;
+/// Every section payload starts on this boundary.
+pub(crate) const SECTION_ALIGN: usize = 64;
+/// Hard ceiling on the section count (v2 defines 10 tags; the margin
+/// tolerates future additive tags without admitting garbage counts).
+pub(crate) const MAX_SECTIONS: usize = 64;
+
+/// Section tags (8 bytes, ASCII, space-padded).
+pub(crate) const TAG_META: [u8; 8] = *b"META    ";
+/// Adjacency row pointers (`u32` or `u64` per META).
+pub(crate) const TAG_ADJ_PTR: [u8; 8] = *b"ADJ_PTR ";
+/// Adjacency column indices (`u32`).
+pub(crate) const TAG_ADJ_IDX: [u8; 8] = *b"ADJ_IDX ";
+/// Adjacency values (`f32`).
+pub(crate) const TAG_ADJ_VAL: [u8; 8] = *b"ADJ_VAL ";
+/// Operator row pointers.
+pub(crate) const TAG_OP_PTR: [u8; 8] = *b"OP_PTR  ";
+/// Operator column indices.
+pub(crate) const TAG_OP_IDX: [u8; 8] = *b"OP_IDX  ";
+/// Operator values.
+pub(crate) const TAG_OP_VAL: [u8; 8] = *b"OP_VAL  ";
+/// Node features `X`, row-major `f32`.
+pub(crate) const TAG_FEAT: [u8; 8] = *b"FEAT    ";
+/// Precomputed embeddings `H`, row-major `f32` (optional).
+pub(crate) const TAG_EMB: [u8; 8] = *b"EMB     ";
+/// Model blob (weights + hyper-parameters, operator stripped).
+pub(crate) const TAG_MODEL: [u8; 8] = *b"MODEL   ";
+
+/// Renders a tag for error messages (trailing pad stripped).
+pub(crate) fn tag_str(tag: &[u8; 8]) -> String {
+    String::from_utf8_lossy(tag).trim_end().to_string()
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC32 (the zlib/PNG polynomial) of a byte slice.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Rounds `n` up to the next multiple of [`SECTION_ALIGN`].
+pub(crate) fn align_up(n: usize) -> usize {
+    n.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+/// Accumulates `(tag, payload)` pairs and emits the v2 container: prelude,
+/// CRC-stamped header table, then 64-byte-aligned payloads.
+pub(crate) struct SectionWriter {
+    sections: Vec<([u8; 8], Vec<u8>)>,
+}
+
+impl SectionWriter {
+    pub(crate) fn new() -> Self {
+        Self {
+            sections: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, tag: [u8; 8], payload: Vec<u8>) {
+        self.sections.push((tag, payload));
+    }
+
+    pub(crate) fn write_to<W: Write>(self, w: &mut W) -> Result<()> {
+        let table_end = PRELUDE_LEN + ENTRY_LEN * self.sections.len();
+        w.write_all(&crate::SNAPSHOT_MAGIC[..])?;
+        codec::write_u32(w, 2)?;
+        codec::write_u32(w, self.sections.len() as u32)?;
+        // Header table: offsets are assigned in push order, each payload
+        // starting on the next 64-byte boundary after the previous one.
+        let mut offset = align_up(table_end);
+        for (tag, payload) in &self.sections {
+            w.write_all(tag)?;
+            codec::write_u64(w, offset as u64)?;
+            codec::write_u64(w, payload.len() as u64)?;
+            codec::write_u32(w, crc32(payload))?;
+            codec::write_u32(w, 0)?;
+            offset = align_up(offset + payload.len());
+        }
+        // Payloads, padded out to alignment with zeros.
+        let mut pos = table_end;
+        for (_, payload) in &self.sections {
+            let start = align_up(pos);
+            w.write_all(&vec![0u8; start - pos])?;
+            w.write_all(payload)?;
+            pos = start + payload.len();
+        }
+        Ok(())
+    }
+}
+
+/// The decoded META section: graph dimensions, serving scalars, and the
+/// shape facts needed to cross-check every array section's byte length
+/// before anything is trusted.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MetaInfo {
+    pub tag: String,
+    pub effective_alpha: f64,
+    pub num_nodes: u64,
+    pub feature_dim: u64,
+    pub num_classes: u64,
+    pub adj_nnz: u64,
+    pub adj_ptr_width: u32,
+    pub has_operator: bool,
+    pub op_nnz: u64,
+    pub op_ptr_width: u32,
+    pub has_embeddings: bool,
+}
+
+pub(crate) fn encode_meta(meta: &MetaInfo) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    codec::write_string(&mut buf, &meta.tag)?;
+    codec::write_f64(&mut buf, meta.effective_alpha)?;
+    codec::write_u64(&mut buf, meta.num_nodes)?;
+    codec::write_u64(&mut buf, meta.feature_dim)?;
+    codec::write_u64(&mut buf, meta.num_classes)?;
+    codec::write_u64(&mut buf, meta.adj_nnz)?;
+    codec::write_u32(&mut buf, meta.adj_ptr_width)?;
+    codec::write_u32(&mut buf, meta.has_operator as u32)?;
+    codec::write_u64(&mut buf, meta.op_nnz)?;
+    codec::write_u32(&mut buf, meta.op_ptr_width)?;
+    codec::write_u32(&mut buf, meta.has_embeddings as u32)?;
+    Ok(buf)
+}
+
+pub(crate) fn decode_meta(mut bytes: &[u8]) -> Result<MetaInfo> {
+    let r = &mut bytes;
+    let meta = MetaInfo {
+        tag: codec::read_string(r)?,
+        effective_alpha: codec::read_f64(r)?,
+        num_nodes: codec::read_u64(r)?,
+        feature_dim: codec::read_u64(r)?,
+        num_classes: codec::read_u64(r)?,
+        adj_nnz: codec::read_u64(r)?,
+        adj_ptr_width: codec::read_u32(r)?,
+        has_operator: codec::read_u32(r)? != 0,
+        op_nnz: codec::read_u64(r)?,
+        op_ptr_width: codec::read_u32(r)?,
+        has_embeddings: codec::read_u32(r)? != 0,
+    };
+    Ok(meta)
+}
+
+/// Picks the on-disk row-pointer width for a matrix: `u32` when every
+/// prefix fits (nnz < 2³²), `u64` otherwise.
+pub(crate) fn ptr_width_for(nnz: usize) -> u32 {
+    if nnz < (1usize << 32) {
+        4
+    } else {
+        8
+    }
+}
+
+/// Serialises row pointers at the chosen width.
+pub(crate) fn encode_indptr(indptr: &[usize], width: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(indptr.len() * width as usize);
+    for &p in indptr {
+        if width == 4 {
+            buf.extend_from_slice(&(p as u32).to_le_bytes());
+        } else {
+            buf.extend_from_slice(&(p as u64).to_le_bytes());
+        }
+    }
+    buf
+}
+
+/// Serialises `u32` column indices little-endian.
+pub(crate) fn encode_u32s(vals: &[u32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(vals.len() * 4);
+    for &v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+/// Serialises `f32` values little-endian.
+pub(crate) fn encode_f32s(vals: &[f32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(vals.len() * 4);
+    for &v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+pub(crate) fn encode_aggregator(kind: AggregatorKind) -> u32 {
+    match kind {
+        AggregatorKind::SimRank => 0,
+        AggregatorKind::SimRankTimesA => 1,
+        AggregatorKind::Ppr => 2,
+        AggregatorKind::None => 3,
+    }
+}
+
+pub(crate) fn decode_aggregator(tag: u32) -> Result<AggregatorKind> {
+    Ok(match tag {
+        0 => AggregatorKind::SimRank,
+        1 => AggregatorKind::SimRankTimesA,
+        2 => AggregatorKind::Ppr,
+        3 => AggregatorKind::None,
+        t => {
+            return Err(ServeError::Corrupt {
+                reason: format!("unknown aggregator tag {t}"),
+            })
+        }
+    })
+}
+
+pub(crate) fn write_mlp<W: Write>(w: &mut W, stack: &MlpWeights) -> Result<()> {
+    codec::write_u64(w, stack.len() as u64)?;
+    for (weight, bias) in stack {
+        codec::write_dense(w, weight)?;
+        codec::write_dense(w, bias)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_mlp<R: Read>(r: &mut R) -> Result<MlpWeights> {
+    let layers = codec::read_u64(r)?;
+    if layers > 1024 {
+        return Err(ServeError::Corrupt {
+            reason: format!("implausible MLP depth {layers}"),
+        });
+    }
+    let mut stack = Vec::with_capacity(layers as usize);
+    for _ in 0..layers {
+        let weight = codec::read_dense(r)?;
+        let bias = codec::read_dense(r)?;
+        stack.push((weight, bias));
+    }
+    Ok(stack)
+}
+
+/// Encodes a [`ModelSnapshot`] as the `MODEL` section blob: the v1 model
+/// wire layout with the operator slot forced empty (the operator rides in
+/// the `OP_*` array sections instead, so it can be mapped, not decoded).
+pub(crate) fn encode_model_blob(model: &ModelSnapshot) -> Result<Vec<u8>> {
+    let mut w = Vec::new();
+    codec::write_f64(&mut w, model.delta)?;
+    codec::write_f64(&mut w, model.alpha)?;
+    match model.alpha_raw {
+        Some(raw) => {
+            codec::write_u32(&mut w, 1)?;
+            codec::write_f32(&mut w, raw)?;
+        }
+        None => codec::write_u32(&mut w, 0)?,
+    }
+    codec::write_f32(&mut w, model.dropout)?;
+    codec::write_u32(&mut w, encode_aggregator(model.aggregator))?;
+    // Operator slot: always "absent" in the blob.
+    codec::write_u32(&mut w, 0)?;
+    write_mlp(&mut w, &model.mlp_a)?;
+    write_mlp(&mut w, &model.mlp_x)?;
+    write_mlp(&mut w, &model.mlp_h)?;
+    Ok(w)
+}
+
+/// Decodes a `MODEL` blob. The returned snapshot has `operator: None`; the
+/// caller re-attaches it from the `OP_*` sections.
+pub(crate) fn decode_model_blob(mut bytes: &[u8]) -> Result<ModelSnapshot> {
+    let r = &mut bytes;
+    let delta = codec::read_f64(r)?;
+    let alpha = codec::read_f64(r)?;
+    let alpha_raw = match codec::read_u32(r)? {
+        0 => None,
+        1 => Some(codec::read_f32(r)?),
+        t => {
+            return Err(ServeError::Corrupt {
+                reason: format!("invalid alpha_raw tag {t}"),
+            })
+        }
+    };
+    let dropout = codec::read_f32(r)?;
+    let aggregator = decode_aggregator(codec::read_u32(r)?)?;
+    if codec::read_u32(r)? != 0 {
+        return Err(ServeError::Corrupt {
+            reason: "MODEL blob carries an inline operator; v2 stores it in OP_* sections".into(),
+        });
+    }
+    let mlp_a = read_mlp(r)?;
+    let mlp_x = read_mlp(r)?;
+    let mlp_h = read_mlp(r)?;
+    Ok(ModelSnapshot {
+        delta,
+        alpha,
+        alpha_raw,
+        dropout,
+        aggregator,
+        operator: None,
+        mlp_a,
+        mlp_x,
+        mlp_h,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn section_writer_aligns_and_stamps() {
+        let mut sw = SectionWriter::new();
+        sw.push(TAG_META, vec![1, 2, 3]);
+        sw.push(TAG_FEAT, vec![9; 70]);
+        let mut buf = Vec::new();
+        sw.write_to(&mut buf).unwrap();
+        assert_eq!(&buf[..8], &crate::SNAPSHOT_MAGIC[..]);
+        assert_eq!(u32::from_le_bytes(buf[8..12].try_into().unwrap()), 2);
+        assert_eq!(u32::from_le_bytes(buf[12..16].try_into().unwrap()), 2);
+        // First entry.
+        assert_eq!(&buf[16..24], &TAG_META);
+        let off0 = u64::from_le_bytes(buf[24..32].try_into().unwrap()) as usize;
+        let len0 = u64::from_le_bytes(buf[32..40].try_into().unwrap()) as usize;
+        let crc0 = u32::from_le_bytes(buf[40..44].try_into().unwrap());
+        assert_eq!(off0 % SECTION_ALIGN, 0);
+        assert_eq!(len0, 3);
+        assert_eq!(&buf[off0..off0 + 3], &[1, 2, 3]);
+        assert_eq!(crc0, crc32(&[1, 2, 3]));
+        // Second entry starts on the next aligned boundary.
+        let off1 = u64::from_le_bytes(buf[56..64].try_into().unwrap()) as usize;
+        assert_eq!(off1 % SECTION_ALIGN, 0);
+        assert!(off1 >= off0 + 3);
+        assert_eq!(&buf[off1..off1 + 70], &[9u8; 70]);
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let meta = MetaInfo {
+            tag: "demo".into(),
+            effective_alpha: 0.375,
+            num_nodes: 11,
+            feature_dim: 5,
+            num_classes: 3,
+            adj_nnz: 40,
+            adj_ptr_width: 4,
+            has_operator: true,
+            op_nnz: 31,
+            op_ptr_width: 4,
+            has_embeddings: false,
+        };
+        let bytes = encode_meta(&meta).unwrap();
+        assert_eq!(decode_meta(&bytes).unwrap(), meta);
+    }
+
+    #[test]
+    fn ptr_width_switches_at_u32_boundary() {
+        assert_eq!(ptr_width_for(0), 4);
+        assert_eq!(ptr_width_for((1 << 32) - 1), 4);
+        assert_eq!(ptr_width_for(1 << 32), 8);
+    }
+}

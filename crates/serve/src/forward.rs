@@ -9,7 +9,7 @@
 
 use crate::Result;
 use sigma::snapshot::{MlpWeights, ModelSnapshot};
-use sigma_matrix::{CsrMatrix, DenseMatrix};
+use sigma_matrix::{CsrMatrix, DenseMatrix, DenseView};
 use sigma_nn::{Linear, Mlp};
 
 /// Rebuilds a runnable MLP from exported `(weight, bias)` pairs.
@@ -65,7 +65,7 @@ pub fn compute_embeddings(
 /// place after an edge edit instead of re-encoding the whole graph.
 pub fn compute_embeddings_rows(
     model: &ModelSnapshot,
-    features: &DenseMatrix,
+    features: DenseView<'_>,
     adjacency: &CsrMatrix,
     rows: &[usize],
 ) -> Result<DenseMatrix> {
@@ -150,7 +150,7 @@ mod tests {
         .unwrap();
         let full = compute_embeddings(&model, &features, &adjacency).unwrap();
         let rows = [0usize, 3, 4, 11];
-        let sliced = compute_embeddings_rows(&model, &features, &adjacency, &rows).unwrap();
+        let sliced = compute_embeddings_rows(&model, features.view(), &adjacency, &rows).unwrap();
         assert_eq!(sliced.shape(), (rows.len(), classes));
         for (i, &r) in rows.iter().enumerate() {
             let full_bits: Vec<u32> = full.row(r).iter().map(|v| v.to_bits()).collect();

@@ -58,13 +58,17 @@ mod cache;
 mod codec;
 mod engine;
 mod error;
+mod format;
 mod forward;
+mod mmap;
 mod snapshot;
+mod store;
 
 pub use cache::LruCache;
 pub use engine::{EngineConfig, EngineRepair, EngineStats, InferenceEngine, Prediction};
-pub use error::ServeError;
+pub use error::{ServeError, SnapshotError};
 pub use forward::{compute_embeddings, compute_embeddings_rows, mlp_infer_dense, mlp_infer_sparse};
+pub use mmap::MappedSnapshot;
 pub use snapshot::{ServeSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 /// Crate-wide result alias.

@@ -8,10 +8,11 @@
 //! training pipeline. Files carry a magic tag and a format version; readers
 //! reject newer versions and malformed sections with typed errors.
 
-use crate::codec;
+use crate::format::{self, decode_aggregator, encode_aggregator, read_mlp, write_mlp, MetaInfo};
+use crate::mmap::to_legacy_error;
+use crate::{codec, MappedSnapshot};
 use crate::{Result, ServeError};
-use sigma::snapshot::{MlpWeights, ModelSnapshot};
-use sigma::AggregatorKind;
+use sigma::snapshot::ModelSnapshot;
 use sigma_matrix::{CsrMatrix, DenseMatrix};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -20,8 +21,10 @@ use std::path::Path;
 /// Magic bytes identifying a SIGMA snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SIGMASNP";
 
-/// Current (highest writable/readable) snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current (highest writable/readable) snapshot format version: the
+/// zero-copy sectioned layout of [`crate::MappedSnapshot`]. Version 1
+/// (streamed, length-prefixed) files remain readable.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A self-contained serving artifact.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +38,12 @@ pub struct ServeSnapshot {
     /// Binary adjacency `A` (`n × n`), input to `MLP_A` and the source of
     /// neighbourhood information for cache invalidation.
     pub adjacency: CsrMatrix,
+    /// Precomputed full-graph embeddings `H` (`n × classes`), populated by
+    /// [`ServeSnapshot::precompute_embeddings`]. When present, a v2 file
+    /// carries them as a mappable section and an engine built from the
+    /// mapping skips the encoder entirely at cold start. Not written by
+    /// the v1 format.
+    pub embeddings: Option<DenseMatrix>,
 }
 
 impl ServeSnapshot {
@@ -69,12 +78,25 @@ impl ServeSnapshot {
             model,
             features,
             adjacency,
+            embeddings: None,
         })
     }
 
     /// Number of nodes this snapshot serves.
     pub fn num_nodes(&self) -> usize {
         self.model.num_nodes()
+    }
+
+    /// Runs the encoder once and stores the full-graph embeddings `H` in
+    /// the snapshot, so a subsequent [`ServeSnapshot::save`] emits them as
+    /// a mappable `EMB` section and mapped engines cold-start in O(1).
+    pub fn precompute_embeddings(&mut self) -> Result<()> {
+        self.embeddings = Some(crate::forward::compute_embeddings(
+            &self.model,
+            &self.features,
+            &self.adjacency,
+        )?);
+        Ok(())
     }
 
     /// Writes the snapshot to `path` (creating or truncating the file).
@@ -87,18 +109,105 @@ impl ServeSnapshot {
     }
 
     /// Reads a snapshot from `path`, validating magic, version and every
-    /// section.
+    /// section. v2 files are memory-mapped, verified (header table,
+    /// checksums, CSR invariants) and then decoded; v1 files stream
+    /// through the legacy reader. For zero-copy serving keep the mapping
+    /// itself: [`MappedSnapshot::open`] +
+    /// [`crate::InferenceEngine::from_mapped`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let mut prelude = [0u8; 12];
+        {
+            let mut f = File::open(&path)?;
+            f.read_exact(&mut prelude)?;
+        }
+        if prelude[..8] == SNAPSHOT_MAGIC[..]
+            && u32::from_le_bytes(prelude[8..12].try_into().unwrap()) == 2
+        {
+            return MappedSnapshot::open(path)
+                .and_then(|m| m.to_snapshot())
+                .map_err(to_legacy_error);
+        }
         let file = File::open(path)?;
         let mut r = BufReader::new(file);
         Self::read_from(&mut r)
     }
 
-    /// Serialises to any writer (the `save` body; exposed for tests and
-    /// in-memory transport).
+    /// Serialises to any writer in the current (v2, zero-copy) format: a
+    /// header table of CRC-stamped, 64-byte-aligned sections holding the
+    /// CSR/dense arrays as raw little-endian data. The `save` body;
+    /// exposed for tests and in-memory transport.
     pub fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        let n = self.num_nodes();
+        let num_classes = self.model.num_classes();
+        if let Some(emb) = &self.embeddings {
+            if emb.shape() != (n, num_classes) {
+                return Err(ServeError::Corrupt {
+                    reason: format!(
+                        "embedding matrix {:?} does not match the model's {} × {} output",
+                        emb.shape(),
+                        n,
+                        num_classes
+                    ),
+                });
+            }
+        }
+        let adj_nnz = self.adjacency.values().len();
+        let adj_width = format::ptr_width_for(adj_nnz);
+        let (op_nnz, op_width) = match &self.model.operator {
+            Some(op) => (op.values().len(), format::ptr_width_for(op.values().len())),
+            None => (0, 4),
+        };
+        let meta = MetaInfo {
+            tag: self.tag.clone(),
+            effective_alpha: self.model.effective_alpha(),
+            num_nodes: n as u64,
+            feature_dim: self.model.feature_dim() as u64,
+            num_classes: num_classes as u64,
+            adj_nnz: adj_nnz as u64,
+            adj_ptr_width: adj_width,
+            has_operator: self.model.operator.is_some(),
+            op_nnz: op_nnz as u64,
+            op_ptr_width: op_width,
+            has_embeddings: self.embeddings.is_some(),
+        };
+        let mut sw = format::SectionWriter::new();
+        sw.push(format::TAG_META, format::encode_meta(&meta)?);
+        sw.push(
+            format::TAG_ADJ_PTR,
+            format::encode_indptr(self.adjacency.indptr(), adj_width),
+        );
+        sw.push(
+            format::TAG_ADJ_IDX,
+            format::encode_u32s(self.adjacency.indices()),
+        );
+        sw.push(
+            format::TAG_ADJ_VAL,
+            format::encode_f32s(self.adjacency.values()),
+        );
+        if let Some(op) = &self.model.operator {
+            sw.push(
+                format::TAG_OP_PTR,
+                format::encode_indptr(op.indptr(), op_width),
+            );
+            sw.push(format::TAG_OP_IDX, format::encode_u32s(op.indices()));
+            sw.push(format::TAG_OP_VAL, format::encode_f32s(op.values()));
+        }
+        sw.push(
+            format::TAG_FEAT,
+            format::encode_f32s(self.features.as_slice()),
+        );
+        if let Some(emb) = &self.embeddings {
+            sw.push(format::TAG_EMB, format::encode_f32s(emb.as_slice()));
+        }
+        sw.push(format::TAG_MODEL, format::encode_model_blob(&self.model)?);
+        sw.write_to(w)
+    }
+
+    /// Serialises in the legacy v1 streamed format (no mapping, no
+    /// embeddings section). Kept for compatibility tests and downgrades.
+    pub fn write_to_v1<W: Write>(&self, w: &mut W) -> Result<()> {
         w.write_all(SNAPSHOT_MAGIC)?;
-        codec::write_u32(w, SNAPSHOT_VERSION)?;
+        codec::write_u32(w, 1)?;
         codec::write_string(w, &self.tag)?;
         // Scalar hyper-parameters.
         codec::write_f64(w, self.model.delta)?;
@@ -130,7 +239,13 @@ impl ServeSnapshot {
         Ok(())
     }
 
-    /// Deserialises from any reader.
+    /// Deserialises from any reader, dispatching on the format version:
+    /// v1 streams through the legacy decoder, v2 adopts the remaining
+    /// bytes via [`MappedSnapshot::from_bytes`] (aligned copy) and fully
+    /// decodes. v2 structural damage is reported through the same
+    /// [`ServeError::Corrupt`]/[`ServeError::UnsupportedVersion`] variants
+    /// v1 callers already handle; use [`MappedSnapshot`] directly for the
+    /// typed [`crate::SnapshotError`] detail.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Self> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
@@ -145,6 +260,15 @@ impl ServeSnapshot {
                 found: version,
                 supported: SNAPSHOT_VERSION,
             });
+        }
+        if version == 2 {
+            let mut buf = Vec::with_capacity(format::PRELUDE_LEN);
+            buf.extend_from_slice(&magic);
+            buf.extend_from_slice(&2u32.to_le_bytes());
+            r.read_to_end(&mut buf)?;
+            return MappedSnapshot::from_bytes(&buf)
+                .and_then(|m| m.to_snapshot())
+                .map_err(to_legacy_error);
         }
         let tag = codec::read_string(r)?;
         let delta = codec::read_f64(r)?;
@@ -187,52 +311,4 @@ impl ServeSnapshot {
         };
         Self::new(tag, model, features, adjacency)
     }
-}
-
-fn encode_aggregator(kind: AggregatorKind) -> u32 {
-    match kind {
-        AggregatorKind::SimRank => 0,
-        AggregatorKind::SimRankTimesA => 1,
-        AggregatorKind::Ppr => 2,
-        AggregatorKind::None => 3,
-    }
-}
-
-fn decode_aggregator(tag: u32) -> Result<AggregatorKind> {
-    Ok(match tag {
-        0 => AggregatorKind::SimRank,
-        1 => AggregatorKind::SimRankTimesA,
-        2 => AggregatorKind::Ppr,
-        3 => AggregatorKind::None,
-        t => {
-            return Err(ServeError::Corrupt {
-                reason: format!("unknown aggregator tag {t}"),
-            })
-        }
-    })
-}
-
-fn write_mlp<W: Write>(w: &mut W, stack: &MlpWeights) -> Result<()> {
-    codec::write_u64(w, stack.len() as u64)?;
-    for (weight, bias) in stack {
-        codec::write_dense(w, weight)?;
-        codec::write_dense(w, bias)?;
-    }
-    Ok(())
-}
-
-fn read_mlp<R: Read>(r: &mut R) -> Result<MlpWeights> {
-    let layers = codec::read_u64(r)?;
-    if layers > 1024 {
-        return Err(ServeError::Corrupt {
-            reason: format!("implausible MLP depth {layers}"),
-        });
-    }
-    let mut stack = Vec::with_capacity(layers as usize);
-    for _ in 0..layers {
-        let weight = codec::read_dense(r)?;
-        let bias = codec::read_dense(r)?;
-        stack.push((weight, bias));
-    }
-    Ok(stack)
 }

@@ -1,0 +1,82 @@
+//! Property: the two snapshot formats are interchangeable. For any serving
+//! fixture, `write_to` (v2) → mmap-backed load → serve is **bitwise
+//! identical** to `write_to_v1` → streamed decode → serve — same decoded
+//! snapshot, same logits, same labels — across graph shapes, operator
+//! presence, and precomputed-embedding presence.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sigma_serve::{EngineConfig, InferenceEngine, MappedSnapshot, ServeSnapshot};
+use sigma_testutil::{random_graph, serving_fixture, ServingFixture};
+
+fn engine_logit_bits(engine: &InferenceEngine, n: usize) -> Vec<Vec<u32>> {
+    let all: Vec<usize> = (0..n).collect();
+    engine
+        .predict_batch(&all)
+        .unwrap()
+        .iter()
+        .map(|p| p.logits.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn v2_and_v1_round_trips_serve_identically(
+        num_nodes in 8usize..40,
+        extra_edges in 0usize..24,
+        seed in 0u64..1000,
+        top_k in 3usize..8,
+        strip_operator in 0u32..2,
+        with_embeddings in 0u32..2,
+    ) {
+        let (strip_operator, with_embeddings) = (strip_operator == 1, with_embeddings == 1);
+        let graph = random_graph(num_nodes, extra_edges, seed);
+        let ServingFixture { mut snapshot, .. } = serving_fixture(&graph, top_k, seed);
+        if strip_operator {
+            // An operator-less snapshot is only valid for the
+            // aggregator-free model variant (Z = H blended with itself).
+            snapshot.model.operator = None;
+            snapshot.model.aggregator = sigma::AggregatorKind::None;
+        }
+        if with_embeddings {
+            snapshot.precompute_embeddings().unwrap();
+        }
+
+        // Both writers, both readers.
+        let mut v1 = Vec::new();
+        snapshot.write_to_v1(&mut v1).unwrap();
+        let mut v2 = Vec::new();
+        snapshot.write_to(&mut v2).unwrap();
+        let from_v1 = ServeSnapshot::read_from(&mut v1.as_slice()).unwrap();
+        let from_v2 = ServeSnapshot::read_from(&mut v2.as_slice()).unwrap();
+
+        // The v1 wire has no embeddings section; aside from that optional
+        // extra, the decoded snapshots must be exactly equal (PartialEq on
+        // a ModelSnapshot compares every weight and the operator's raw CSR
+        // arrays).
+        prop_assert_eq!(&from_v2.tag, &from_v1.tag);
+        prop_assert_eq!(&from_v2.model, &from_v1.model);
+        prop_assert_eq!(&from_v2.features, &from_v1.features);
+        prop_assert_eq!(&from_v2.adjacency, &from_v1.adjacency);
+        prop_assert_eq!(from_v1.embeddings.is_some(), false);
+        prop_assert_eq!(from_v2.embeddings.is_some(), with_embeddings);
+        prop_assert_eq!(&from_v2, &snapshot);
+
+        // Serving parity: v1-decoded owned engine vs v2 zero-copy engine.
+        let mapped = Arc::new(MappedSnapshot::from_bytes(&v2).unwrap());
+        prop_assert_eq!(mapped.num_nodes(), num_nodes);
+        prop_assert_eq!(mapped.has_operator(), !strip_operator);
+        prop_assert_eq!(mapped.has_embeddings(), with_embeddings);
+        let config = EngineConfig::default();
+        let owned = InferenceEngine::new(&from_v1, config).unwrap();
+        let zero_copy = InferenceEngine::from_mapped(mapped, config).unwrap();
+        prop_assert_eq!(owned.alpha().to_bits(), zero_copy.alpha().to_bits());
+        prop_assert_eq!(
+            engine_logit_bits(&owned, num_nodes),
+            engine_logit_bits(&zero_copy, num_nodes)
+        );
+    }
+}
