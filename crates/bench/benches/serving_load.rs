@@ -28,7 +28,7 @@ use sigma_bench::TablePrinter;
 use sigma_datasets::DatasetPreset;
 use sigma_graph::Graph;
 use sigma_obs::{HistogramSnapshot, MetricValue};
-use sigma_serve::{EngineConfig, InferenceEngine, ServeSnapshot};
+use sigma_serve::{EngineConfig, ServeSnapshot, ShardRouter, ShardRouterConfig};
 use sigma_simrank::{DynamicSimRank, EdgeUpdate, SimRankConfig};
 use std::time::Instant;
 
@@ -107,7 +107,13 @@ const MIXES: &[BatchMix] = &[
 
 const SKEWS: &[f64] = &[0.75, 1.25];
 
+/// In-process shard counts: 1 (the router degenerates to a façade over one
+/// engine — its overhead must be invisible) and 4 (repair fan-out and
+/// scatter/gather in play).
+const SHARD_COUNTS: &[usize] = &[1, 4];
+
 struct ConfigResult {
+    shards: usize,
     skew: f64,
     mix: &'static str,
     requests: usize,
@@ -123,6 +129,11 @@ struct ConfigResult {
     cache_evictions: u64,
     rows_repaired: u64,
     dirty_seeds: u64,
+    /// Shards that received repair traffic across all rounds (the
+    /// `sigma_shard_repair_fanout_total` counter).
+    repair_fanout: u64,
+    /// Shards skipped by footprint-sparse repair fan-out.
+    repair_skipped: u64,
 }
 
 /// Pulls one named histogram out of the global metrics snapshot.
@@ -152,25 +163,31 @@ fn run_config(
     graph: &Graph,
     snapshot: &ServeSnapshot,
     simrank: SimRankConfig,
+    shards: usize,
     skew: f64,
     mix: &BatchMix,
     requests: usize,
 ) -> ConfigResult {
     let n = graph.num_nodes();
     // Fresh maintainer per config (deterministic, so its operator matches
-    // the shared snapshot) and a cache sized for pressure, not residence.
+    // the shared snapshot) and a cache sized for pressure, not residence —
+    // total capacity held constant across shard counts so hit rates stay
+    // comparable (per-shard caches split the same budget).
     let mut maintainer =
         DynamicSimRank::new(graph.clone(), simrank, usize::MAX / 2).expect("maintainer");
     let _ = maintainer.operator().expect("initial operator");
-    let engine = InferenceEngine::new(
+    let engine = ShardRouter::new(
         snapshot,
-        EngineConfig {
-            cache_capacity: n / 4,
-            workers: 0,
-            max_chunk: 64,
+        &ShardRouterConfig {
+            shards,
+            engine: EngineConfig {
+                cache_capacity: (n / 4 / shards).max(1),
+                workers: 0,
+                max_chunk: 64,
+            },
         },
     )
-    .expect("engine");
+    .expect("shard router");
 
     let sampler = ZipfSampler::new(n, skew, 7);
     let mut rng = StdRng::seed_from_u64((skew * 1000.0) as u64 ^ mix.name.len() as u64);
@@ -201,25 +218,28 @@ fn run_config(
     let metrics = sigma_obs::snapshot();
     let predict = histogram(&metrics, "sigma_serve_predict_ns");
     let predict_batch = histogram(&metrics, "sigma_serve_predict_batch_ns");
-    // Dropping the engine here releases its registry entries (weak refs), so
-    // the next config's snapshot sees only its own engine.
+    // Dropping the router here releases its registry entries (weak refs), so
+    // the next config's snapshot sees only its own engines.
     drop(engine);
 
     ConfigResult {
+        shards,
         skew,
         mix: mix.name,
         requests,
-        nodes_served: stats.nodes_served,
+        nodes_served: stats.engines.nodes_served,
         repairs,
         elapsed_s,
         latency: predict.merged(&predict_batch),
         predict,
         predict_batch,
-        cache_hits: stats.cache_hits,
-        cache_misses: stats.cache_misses,
-        cache_evictions: stats.cache_evictions,
-        rows_repaired: stats.rows_repaired,
+        cache_hits: stats.engines.cache_hits,
+        cache_misses: stats.engines.cache_misses,
+        cache_evictions: stats.engines.cache_evictions,
+        rows_repaired: stats.engines.rows_repaired,
         dirty_seeds: stats.repair_dirty_seeds,
+        repair_fanout: stats.repair_fanout,
+        repair_skipped: stats.repair_skipped,
     }
 }
 
@@ -257,13 +277,16 @@ fn emit_json(quick: bool, n: usize, edges: usize, results: &[ConfigResult]) {
     for (i, r) in results.iter().enumerate() {
         let hit_rate = r.cache_hits as f64 / (r.cache_hits + r.cache_misses).max(1) as f64;
         out.push_str(&format!(
-            "    {{\"skew\": {}, \"mix\": \"{}\", \"requests\": {}, \"nodes_served\": {}, \
+            "    {{\"shards\": {}, \"skew\": {}, \"mix\": \"{}\", \"requests\": {}, \
+             \"nodes_served\": {}, \
              \"repairs\": {}, \"elapsed_s\": {:.3}, \
              \"throughput_requests_per_s\": {:.1}, \"throughput_nodes_per_s\": {:.1}, \
              \"latency\": {}, \"predict\": {}, \"predict_batch\": {}, \
              \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
              \"hit_rate\": {:.4}}}, \
-             \"repair\": {{\"rows_repaired\": {}, \"dirty_seeds\": {}}}}}{}\n",
+             \"repair\": {{\"rows_repaired\": {}, \"dirty_seeds\": {}, \
+             \"shard_fanout\": {}, \"shard_skipped\": {}}}}}{}\n",
+            r.shards,
             r.skew,
             r.mix,
             r.requests,
@@ -281,6 +304,8 @@ fn emit_json(quick: bool, n: usize, edges: usize, results: &[ConfigResult]) {
             hit_rate,
             r.rows_repaired,
             r.dirty_seeds,
+            r.repair_fanout,
+            r.repair_skipped,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
@@ -339,27 +364,32 @@ fn main() {
     .expect("serve snapshot");
 
     let mut table = TablePrinter::new(vec![
-        "skew", "mix", "req/s", "p50 µs", "p95 µs", "p99 µs", "hit rate", "repairs",
+        "shards", "skew", "mix", "req/s", "p50 µs", "p95 µs", "p99 µs", "hit rate", "repairs",
+        "fanout",
     ]);
     let mut results = Vec::new();
-    for &skew in SKEWS {
-        for mix in MIXES {
-            let r = run_config(&graph, &snapshot, simrank, skew, mix, requests);
-            let hits = r.cache_hits as f64 / (r.cache_hits + r.cache_misses).max(1) as f64;
-            table.add_row(vec![
-                format!("{skew}"),
-                r.mix.to_string(),
-                format!("{:.0}", r.requests as f64 / r.elapsed_s),
-                format!("{:.1}", r.latency.quantile(0.50) as f64 / 1e3),
-                format!("{:.1}", r.latency.quantile(0.95) as f64 / 1e3),
-                format!("{:.1}", r.latency.quantile(0.99) as f64 / 1e3),
-                format!("{hits:.3}"),
-                format!("{}", r.repairs),
-            ]);
-            results.push(r);
+    for &shards in SHARD_COUNTS {
+        for &skew in SKEWS {
+            for mix in MIXES {
+                let r = run_config(&graph, &snapshot, simrank, shards, skew, mix, requests);
+                let hits = r.cache_hits as f64 / (r.cache_hits + r.cache_misses).max(1) as f64;
+                table.add_row(vec![
+                    format!("{shards}"),
+                    format!("{skew}"),
+                    r.mix.to_string(),
+                    format!("{:.0}", r.requests as f64 / r.elapsed_s),
+                    format!("{:.1}", r.latency.quantile(0.50) as f64 / 1e3),
+                    format!("{:.1}", r.latency.quantile(0.95) as f64 / 1e3),
+                    format!("{:.1}", r.latency.quantile(0.99) as f64 / 1e3),
+                    format!("{hits:.3}"),
+                    format!("{}", r.repairs),
+                    format!("{}/{}", r.repair_fanout, r.repair_fanout + r.repair_skipped),
+                ]);
+                results.push(r);
+            }
         }
     }
-    table.print("serving load: Zipfian skew x batch mix");
+    table.print("serving load: shards x Zipfian skew x batch mix");
     println!("(latency = per-request, merged over predict and predict_batch histograms)");
     emit_json(quick, n, edges, &results);
 }

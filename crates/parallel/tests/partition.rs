@@ -153,3 +153,79 @@ fn balanced_cuts_beat_equal_counts_on_a_power_law() {
     // ideal share, so the bound is max_item-driven; check it holds.
     assert!(balanced_max <= ideal + weights[0]);
 }
+
+// ---------------------------------------------------------------------------
+// Shard-router edge cases (shard PR satellites): the `ShardRouter` feeds
+// `partition_by_weight` operator-row nnz masses and pads the result with
+// empty tail ranges up to the requested shard count, so the planner's
+// behaviour on degenerate inputs — more parts than rows, one row holding
+// all the mass, zero-mass tails — is load-bearing for serving.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn more_parts_than_rows_yields_one_singleton_range_per_row() {
+    // 3 rows behind 16 requested parts: the planner can hand out at most
+    // one (non-empty) range per row — the router pads the remaining shards
+    // with empty tail ranges itself. With equal masses the split is exact.
+    let ranges = partition_by_weight(&[1usize, 1, 1], 16);
+    assert_eq!(
+        ranges,
+        vec![0..1, 1..2, 2..3],
+        "with parts > rows and equal mass every row gets its own range"
+    );
+    // Skewed masses may merge light rows, but never exceed the row count
+    // and never emit empty ranges.
+    let skewed = partition_by_weight(&[5usize, 1, 9], 16);
+    assert!(skewed.len() <= 3);
+    assert!(skewed.iter().all(|r| r.end > r.start));
+    assert_eq!(skewed.first().map(|r| r.start), Some(0));
+    assert_eq!(skewed.last().map(|r| r.end), Some(3));
+}
+
+#[test]
+fn single_row_holding_all_mass_still_covers_the_zero_tail() {
+    // Row 0 carries 100% of the nnz mass; rows 1..N are empty (a star
+    // graph's operator looks like this). The cut after the heavy row must
+    // not orphan the massless tail — every row still needs an owner shard.
+    let mut weights = vec![0usize; 64];
+    weights[0] = 1_000_000;
+    let ranges = partition_by_weight(&weights, 4);
+    let mut covered = 0usize;
+    for r in &ranges {
+        assert_eq!(r.start, covered);
+        assert!(r.end > r.start, "no empty ranges from the planner");
+        covered = r.end;
+    }
+    assert_eq!(covered, 64, "zero-mass tail rows must still be covered");
+    assert!(ranges.len() <= 4);
+    // The heavy row is isolated from as much of the tail as balance allows:
+    // whichever range holds row 0 carries all the mass, the rest carry none.
+    let massful = ranges
+        .iter()
+        .filter(|r| weights[(*r).clone()].iter().sum::<usize>() > 0)
+        .count();
+    assert_eq!(massful, 1, "exactly one range holds the star's mass");
+}
+
+#[test]
+fn zero_mass_tail_rows_do_not_starve_trailing_parts_of_coverage() {
+    // Mass concentrated in the first quarter, then a long zero tail: the
+    // planner may merge the tail into few ranges, but the union must stay
+    // exactly 0..n and ranges must stay sorted and disjoint so the router's
+    // `shard_of` binary search stays correct.
+    let mut weights = vec![0usize; 100];
+    for (i, w) in weights.iter_mut().enumerate().take(25) {
+        *w = 100 - i;
+    }
+    for parts in [1usize, 2, 3, 7, 25, 100] {
+        let ranges = partition_by_weight(&weights, parts);
+        let mut covered = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, covered, "parts={parts}: gap before {r:?}");
+            assert!(r.end > r.start, "parts={parts}: empty range {r:?}");
+            covered = r.end;
+        }
+        assert_eq!(covered, 100, "parts={parts}: tail not covered");
+        assert!(ranges.len() <= parts);
+    }
+}

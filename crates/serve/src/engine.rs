@@ -406,6 +406,29 @@ pub struct InferenceEngine {
     config: EngineConfig,
 }
 
+/// The operator payload of one repair round, fed to
+/// [`InferenceEngine::apply_repair`].
+///
+/// [`InferenceEngine::repair_from`] computes this from a
+/// [`DynamicSimRank`] maintainer; a shard router computes it once and fans
+/// row-filtered `Rows` payloads to the shards whose ranges intersect the
+/// repair footprint (`DynamicSimRank::repair` consumes the pending edits,
+/// so the maintainer can be driven only once per round — the payload, not
+/// the maintainer, is what travels to each engine).
+#[derive(Debug, Clone)]
+pub enum OperatorPatch {
+    /// Replace exactly the listed operator rows with the rows of this
+    /// `rows.len() × n` payload (in the same order).
+    Rows(CsrMatrix),
+    /// Install this whole `n × n` operator (full-refresh path: first sync
+    /// with a maintainer that had no prior state). Drops the entire cache.
+    Full(CsrMatrix),
+    /// The operator is untouched this round — only the adjacency (and the
+    /// `H` rows its diff implies) need repair. Also the only valid payload
+    /// for an operator-less engine (`Ẑ = H`).
+    None,
+}
+
 /// What one [`InferenceEngine::repair_from`] call changed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineRepair {
@@ -735,6 +758,18 @@ impl InferenceEngine {
     /// operator entries reference an affected node. Returns the number of
     /// cached rows invalidated.
     pub fn apply_edge_updates(&self, updates: &[EdgeUpdate]) -> Result<usize> {
+        let affected = self.edge_update_footprint(updates)?;
+        Ok(self.invalidate_nodes(&affected))
+    }
+
+    /// The first-order region a stream of edge updates touches, read off
+    /// this engine's *own* adjacency copy: each update's endpoints plus
+    /// their neighbours at snapshot time. Sorted and deduplicated.
+    ///
+    /// Routers use this per shard (shard adjacencies can lag each other
+    /// between repairs) to decide which shards an update stream must fan
+    /// out to, before committing to [`InferenceEngine::invalidate_nodes`].
+    pub fn edge_update_footprint(&self, updates: &[EdgeUpdate]) -> Result<Vec<usize>> {
         let n = self.num_nodes();
         let mut affected: HashSet<usize> = HashSet::new();
         {
@@ -758,7 +793,44 @@ impl InferenceEngine {
                 }
             }
         }
-        Ok(self.invalidate_region(&affected))
+        let mut sorted: Vec<usize> = affected.into_iter().collect();
+        sorted.sort_unstable();
+        Ok(sorted)
+    }
+
+    /// Rows of the served operator whose entries reference any of `nodes`
+    /// (sorted, deduplicated; empty for an operator-less engine). These are
+    /// exactly the cached `Ẑ` rows an update to those nodes can change, so
+    /// a router may skip a shard whose range misses the affected set *only*
+    /// if this is also empty for that shard.
+    pub fn referencing_rows(&self, nodes: &[usize]) -> Vec<usize> {
+        let mut rows: HashSet<usize> = HashSet::new();
+        {
+            let state = self.shared.state.read().expect("serving state poisoned");
+            if let Some(operator) = state.operator.as_ref() {
+                let reverse = operator.reverse();
+                for &node in nodes {
+                    if node < reverse.rows() {
+                        for (row, _) in reverse.row_iter(node) {
+                            rows.insert(row);
+                        }
+                    }
+                }
+            }
+        }
+        let mut sorted: Vec<usize> = rows.into_iter().collect();
+        sorted.sort_unstable();
+        sorted
+    }
+
+    /// Marks `affected` nodes stale and evicts every cached row whose
+    /// operator entries reference them; returns the number of cached rows
+    /// evicted. This is [`InferenceEngine::apply_edge_updates`] with the
+    /// footprint already computed — the router entry point for fanning a
+    /// pre-computed affected set to intersecting shards.
+    pub fn invalidate_nodes(&self, affected: &[usize]) -> usize {
+        let set: HashSet<usize> = affected.iter().copied().collect();
+        self.invalidate_region(&set)
     }
 
     /// Synchronises with a [`DynamicSimRank`] maintainer.
@@ -824,26 +896,84 @@ impl InferenceEngine {
             .is_some();
         // Resolve the operator payload before taking the write lock (the
         // maintainer materialises rows lazily).
-        let (operator_rows, operator_patch, full_operator) = match (&outcome, has_operator) {
+        let (operator_rows, patch, dirty_seeds) = match (&outcome, has_operator) {
             (RepairOutcome::Patched(repair), true) => {
                 let rows = repair.changed_rows.clone();
-                let patch = maintainer.operator_rows(&rows)?;
-                (rows, Some(patch), None)
+                let payload = maintainer.operator_rows(&rows)?;
+                (
+                    rows,
+                    OperatorPatch::Rows(payload),
+                    repair.dirty_seeds as u64,
+                )
             }
             (RepairOutcome::FullRefresh, true) => {
                 let operator = maintainer.operator()?;
+                ((0..n).collect(), OperatorPatch::Full(operator), 0)
+            }
+            // Operator-less engine (`Ẑ = H`): only the embedding needs care.
+            (RepairOutcome::Patched(repair), false) => {
+                (Vec::new(), OperatorPatch::None, repair.dirty_seeds as u64)
+            }
+            (RepairOutcome::FullRefresh, false) => (Vec::new(), OperatorPatch::None, 0),
+        };
+        let adjacency_new = maintainer.graph().to_adjacency();
+        self.apply_repair(&operator_rows, patch, adjacency_new, dirty_seeds)
+    }
+
+    /// Applies a repair round whose payload was already computed — the
+    /// maintainer-free second half of [`InferenceEngine::repair_from`].
+    ///
+    /// `operator_rows` are the rows `patch` replaces (sorted, matching the
+    /// payload's row order for [`OperatorPatch::Rows`]); `adjacency` is the
+    /// post-edit adjacency to adopt (the `H` rows to re-encode are found by
+    /// diffing it against the engine's own copy, so a lagging engine
+    /// self-heals); `dirty_seeds` is forwarded to the
+    /// `repair_dirty_seeds` counter. Everything [`repair_from`] documents —
+    /// in-place patching under one write lock, targeted eviction, epoch
+    /// bump, staleness clear — happens here.
+    ///
+    /// This is the fan-out surface for a [`crate::ShardRouter`]: the router
+    /// drives one maintainer, then calls this on each shard whose row range
+    /// intersects the repair footprint, with the payload filtered to that
+    /// shard's rows.
+    ///
+    /// [`repair_from`]: InferenceEngine::repair_from
+    pub fn apply_repair(
+        &self,
+        operator_rows: &[usize],
+        patch: OperatorPatch,
+        adjacency_new: CsrMatrix,
+        dirty_seeds: u64,
+    ) -> Result<EngineRepair> {
+        let n = self.num_nodes();
+        if adjacency_new.shape() != (n, n) {
+            return Err(ServeError::OperatorMismatch {
+                got: adjacency_new.shape(),
+                expected: n,
+            });
+        }
+        let (operator_patch, full_operator) = match patch {
+            OperatorPatch::Rows(payload) => {
+                if payload.shape() != (operator_rows.len(), n) {
+                    return Err(ServeError::OperatorMismatch {
+                        got: payload.shape(),
+                        expected: n,
+                    });
+                }
+                (Some(payload), None)
+            }
+            OperatorPatch::Full(operator) => {
                 if operator.shape() != (n, n) {
                     return Err(ServeError::OperatorMismatch {
                         got: operator.shape(),
                         expected: n,
                     });
                 }
-                ((0..n).collect(), None, Some(operator))
+                (None, Some(operator))
             }
-            // Operator-less engine (`Ẑ = H`): only the embedding needs care.
-            (_, false) => (Vec::new(), None, None),
+            OperatorPatch::None => (None, None),
         };
-        let adjacency_new = maintainer.graph().to_adjacency();
+        let operator_rows = operator_rows.to_vec();
 
         // Re-encode exactly the nodes whose adjacency rows differ. The diff
         // is against the engine's own copy, so it also catches edits the
@@ -952,9 +1082,7 @@ impl InferenceEngine {
         stats
             .embedding_rows_repaired
             .add(embedding_rows.len() as u64);
-        if let RepairOutcome::Patched(report) = &outcome {
-            stats.repair_dirty_seeds.add(report.dirty_seeds as u64);
-        }
+        stats.repair_dirty_seeds.add(dirty_seeds);
         if full_refresh {
             stats.operator_refreshes.inc();
         } else {

@@ -174,6 +174,23 @@ pub enum ServeError {
         /// What exactly is wrong and how to fix it.
         reason: &'static str,
     },
+    /// A shard-router configuration is unusable (zero shards, or shard
+    /// snapshots that disagree on graph dimensions).
+    ShardConfig {
+        /// The configured shard count.
+        shards: usize,
+        /// What exactly is wrong and how to fix it.
+        reason: String,
+    },
+    /// One shard of a [`crate::ShardRouter`] failed to construct or repair;
+    /// names the offending shard so a bad snapshot in a fleet is
+    /// attributable from the error alone.
+    Shard {
+        /// Index of the failing shard (its position in the router's plan).
+        shard: usize,
+        /// The underlying failure.
+        source: Box<ServeError>,
+    },
     /// A zero-copy (format v2) snapshot failed a structural check.
     Snapshot(SnapshotError),
     /// An underlying model-layer error.
@@ -211,6 +228,10 @@ impl fmt::Display for ServeError {
                 "invalid worker configuration ({workers} workers against a shared pool of \
                  {pool_threads} threads): {reason}"
             ),
+            ServeError::ShardConfig { shards, reason } => {
+                write!(f, "invalid shard configuration ({shards} shards): {reason}")
+            }
+            ServeError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
             ServeError::Snapshot(e) => write!(f, "snapshot format error: {e}"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Matrix(e) => write!(f, "matrix error: {e}"),
@@ -224,6 +245,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Io(e) => Some(e),
+            ServeError::Shard { source, .. } => Some(source.as_ref()),
             ServeError::Snapshot(e) => Some(e),
             ServeError::Model(e) => Some(e),
             ServeError::Matrix(e) => Some(e),

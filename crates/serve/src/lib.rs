@@ -22,7 +22,10 @@
 //!   [`sigma_parallel::ThreadPool`] (no engine-private threads),
 //! * a staleness hook consuming [`sigma_simrank::EdgeUpdate`] streams and
 //!   [`sigma_simrank::DynamicSimRank`] refreshes, so an evolving graph
-//!   invalidates exactly the affected cached rows.
+//!   invalidates exactly the affected cached rows,
+//! * [`ShardRouter`] — N engines behind one façade, each serving a row
+//!   range of the operator cut by nnz mass, with scatter/gather queries
+//!   and footprint-sparse repair fan-out, bitwise-equal to one engine.
 //!
 //! ## Example
 //!
@@ -61,14 +64,18 @@ mod error;
 mod format;
 mod forward;
 mod mmap;
+mod shard;
 mod snapshot;
 mod store;
 
 pub use cache::LruCache;
-pub use engine::{EngineConfig, EngineRepair, EngineStats, InferenceEngine, Prediction};
+pub use engine::{
+    EngineConfig, EngineRepair, EngineStats, InferenceEngine, OperatorPatch, Prediction,
+};
 pub use error::{ServeError, SnapshotError};
 pub use forward::{compute_embeddings, compute_embeddings_rows, mlp_infer_dense, mlp_infer_sparse};
 pub use mmap::MappedSnapshot;
+pub use shard::{RouterRepair, RouterStats, ShardPlan, ShardRouter, ShardRouterConfig};
 pub use snapshot::{ServeSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 /// Crate-wide result alias.

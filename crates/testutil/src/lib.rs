@@ -14,7 +14,13 @@
 //!   (b) incremental repair, asserting after every batch that the operator,
 //!   every served logit, and the cache-hit observability counters are
 //!   **bitwise identical** between the two paths — and that repair touched
-//!   only the rows it reported.
+//!   only the rows it reported. [`oracle::replay_differential_sharded`]
+//!   generalises the same contract across a shard dimension: the trace is
+//!   replayed against a 1-engine reference and an N-shard
+//!   [`sigma_serve::ShardRouter`] simultaneously (optionally with mapped
+//!   shard engines), asserting per-batch bitwise equality of logits,
+//!   labels, operator rows, and exact per-shard hit/eviction accounting,
+//!   plus footprint-sparse repair fan-out.
 //!
 //! The crate is a regular (non-dev) dependency of test targets only; it
 //! ships no production code paths.
@@ -25,4 +31,7 @@ pub mod generate;
 pub mod oracle;
 
 pub use generate::{random_graph, random_trace, TraceShape};
-pub use oracle::{replay_differential, serving_fixture, DifferentialReport, ServingFixture};
+pub use oracle::{
+    replay_differential, replay_differential_sharded, serving_fixture, DifferentialReport,
+    ServingFixture, ShardedDifferentialReport,
+};

@@ -22,8 +22,13 @@ use sigma::{ContextBuilder, ModelHyperParams, SigmaModel};
 use sigma_datasets::Dataset;
 use sigma_graph::Graph;
 use sigma_matrix::{CsrMatrix, DenseMatrix};
-use sigma_serve::{EngineConfig, InferenceEngine, ServeSnapshot};
+use sigma_serve::{
+    EngineConfig, InferenceEngine, MappedSnapshot, Prediction, ServeSnapshot, ShardRouter,
+    ShardRouterConfig,
+};
 use sigma_simrank::{DynamicSimRank, EdgeUpdate, LocalPush, SimRankConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A ready-to-serve setup whose engine operator is in sync with its
 /// maintainer — the precondition of [`InferenceEngine::repair_from`].
@@ -282,6 +287,310 @@ pub fn replay_differential(
     report
 }
 
+/// Aggregate outcome of one sharded differential replay (all assertions
+/// passed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedDifferentialReport {
+    /// Edit batches replayed.
+    pub rounds: usize,
+    /// Nodes served per round.
+    pub num_nodes: usize,
+    /// Shards the router ran.
+    pub shards: usize,
+    /// Operator rows the maintainer reported changed across all rounds.
+    pub operator_rows_patched: usize,
+    /// Shards that received repair traffic across all rounds.
+    pub repair_fanout: u64,
+    /// Shards skipped by footprint-sparse fan-out across all rounds.
+    pub repair_skipped: u64,
+}
+
+/// Distinguishes concurrently running replays' temp snapshot files.
+static MAPPED_REPLAY_ID: AtomicU64 = AtomicU64::new(0);
+
+fn assert_predictions_bitwise_eq(routed: &[Prediction], reference: &[Prediction], what: &str) {
+    assert_eq!(routed.len(), reference.len(), "{what}: prediction count");
+    for (r, f) in routed.iter().zip(reference.iter()) {
+        assert_eq!(r.node, f.node, "{what}: request order");
+        let r_bits: Vec<u32> = r.logits.iter().map(|v| v.to_bits()).collect();
+        let f_bits: Vec<u32> = f.logits.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(r_bits, f_bits, "{what}: logits diverge at node {}", r.node);
+        assert_eq!(
+            r.label, f.label,
+            "{what}: label diverges at node {}",
+            r.node
+        );
+        assert_eq!(
+            r.cached, f.cached,
+            "{what}: cache attribution diverges at node {}",
+            r.node
+        );
+        assert_eq!(
+            r.stale, f.stale,
+            "{what}: staleness diverges at node {}",
+            r.node
+        );
+    }
+}
+
+/// The shard-generic differential oracle: replays `batches` against a
+/// 1-engine reference and an N-shard [`ShardRouter`] simultaneously, both
+/// driven by identically seeded maintainers, asserting after every batch:
+///
+/// * the router's reassembled operator is **bitwise equal** to the
+///   reference engine's,
+/// * the router's reported changed-row set equals the reference repair's,
+/// * every served prediction (logits, label, cache attribution, staleness)
+///   is bitwise equal in canonical request order,
+/// * fan-out accounting is exact (`fanout + skipped == shards`) and
+///   **footprint-sparse**: a skipped shard's range provably misses the
+///   reference repair's invalidated, patched and re-encoded row sets,
+/// * per-shard eviction/hit accounting is exact: each repaired shard's
+///   invalidated set equals the reference invalidated set restricted to
+///   its range, a full warm query then misses exactly those rows and hits
+///   the rest of the range, and capacity evictions stay zero (each shard
+///   cache is sized to its range).
+///
+/// With `mapped`, the shard engines serve out of one shared
+/// `Arc<MappedSnapshot>` (the v2 zero-copy path) instead of decoded
+/// snapshots. Panics on any divergence.
+pub fn replay_differential_sharded(
+    graph: &Graph,
+    batches: &[Vec<EdgeUpdate>],
+    top_k: usize,
+    seed: u64,
+    shards: usize,
+    mapped: bool,
+) -> ShardedDifferentialReport {
+    let n = graph.num_nodes();
+    // Two identically seeded fixtures: one maintainer per consumer
+    // (`DynamicSimRank::repair` consumes pending edits, so reference and
+    // router each need their own).
+    let ServingFixture {
+        snapshot: mut base_snapshot,
+        maintainer: mut reference_maintainer,
+        ..
+    } = serving_fixture(graph, top_k, seed);
+    let mut router_maintainer = serving_fixture(graph, top_k, seed).maintainer;
+    // Precompute `H` once so the reference engine and every shard adopt
+    // identical embedding bits from the same snapshot.
+    base_snapshot
+        .precompute_embeddings()
+        .expect("encoder over the fixture graph");
+
+    let engine_config = EngineConfig {
+        // Room for every row: the per-shard hit accounting below needs
+        // evictions to be attributable to invalidation alone.
+        cache_capacity: n,
+        workers: 0,
+        max_chunk: 256,
+    };
+    let reference = InferenceEngine::new(&base_snapshot, engine_config).expect("reference engine");
+    let router = if mapped {
+        let unique = MAPPED_REPLAY_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "sigma-shard-oracle-{}-{unique}.snapshot",
+            std::process::id()
+        ));
+        base_snapshot.save(&path).expect("write v2 snapshot");
+        let snap = Arc::new(MappedSnapshot::open(&path).expect("map v2 snapshot"));
+        std::fs::remove_file(&path).expect("unlink mapped snapshot");
+        ShardRouter::from_mapped(vec![snap; shards], engine_config).expect("mapped shard router")
+    } else {
+        ShardRouter::new(
+            &base_snapshot,
+            &ShardRouterConfig {
+                shards,
+                engine: engine_config,
+            },
+        )
+        .expect("shard router")
+    };
+    assert_eq!(router.num_shards(), shards);
+    assert_eq!(router.num_nodes(), n);
+
+    let all_nodes: Vec<usize> = (0..n).collect();
+    // Warm both sides so each round starts with every row resident, and
+    // prove the cold-start state already agrees bitwise.
+    let reference_warm = reference.predict_batch(&all_nodes).expect("warm reference");
+    let routed_warm = router.predict_batch(&all_nodes).expect("warm router");
+    assert_predictions_bitwise_eq(&routed_warm, &reference_warm, "warm-up");
+    assert_csr_bitwise_eq(
+        &router.operator().expect("fixture routers always carry S"),
+        &reference
+            .operator()
+            .expect("fixture engines always carry S"),
+        "warm-up: reassembled operator vs reference operator",
+    );
+
+    let mut report = ShardedDifferentialReport {
+        rounds: 0,
+        num_nodes: n,
+        shards,
+        operator_rows_patched: 0,
+        repair_fanout: 0,
+        repair_skipped: 0,
+    };
+
+    for (round, batch) in batches.iter().enumerate() {
+        reference_maintainer
+            .apply_batch(batch)
+            .expect("in-bounds edits");
+        router_maintainer
+            .apply_batch(batch)
+            .expect("in-bounds edits");
+
+        let router_stats_before = router.stats();
+        let reference_repair = reference
+            .repair_from(&mut reference_maintainer)
+            .expect("reference repair");
+        let router_repair = router
+            .repair_from(&mut router_maintainer)
+            .expect("router repair");
+        assert!(
+            !reference_repair.full_refresh && !router_repair.full_refresh,
+            "round {round}: repair degenerated to a full refresh"
+        );
+        assert_eq!(
+            router_repair.operator_rows, reference_repair.operator_rows,
+            "round {round}: the router's changed-row set must match the reference repair"
+        );
+        assert_eq!(
+            router_repair.fanout + router_repair.skipped,
+            shards,
+            "round {round}: every shard is either repaired or skipped"
+        );
+        assert_eq!(router_repair.shard_repairs.len(), shards);
+        let router_stats_mid = router.stats();
+        assert_eq!(
+            router_stats_mid.repair_fanout - router_stats_before.repair_fanout,
+            router_repair.fanout as u64,
+            "round {round}: sigma_shard repair fan-out counter"
+        );
+        assert_eq!(
+            router_stats_mid.repair_skipped - router_stats_before.repair_skipped,
+            router_repair.skipped as u64,
+            "round {round}: sigma_shard repair skipped counter"
+        );
+
+        // Operator parity: the reassembled fleet operator is bitwise the
+        // reference engine's.
+        assert_csr_bitwise_eq(
+            &router.operator().expect("fixture routers always carry S"),
+            &reference
+                .operator()
+                .expect("fixture engines always carry S"),
+            &format!("round {round}: reassembled operator vs reference operator"),
+        );
+
+        // Fan-out soundness, per shard: a skipped shard's range provably
+        // misses every row the reference repair touched; a repaired
+        // shard's report is exactly the reference report restricted to
+        // its range.
+        for (shard, shard_repair) in router_repair.shard_repairs.iter().enumerate() {
+            let range = &router.plan().ranges()[shard];
+            let in_range =
+                |rows: &[usize]| rows.iter().copied().filter(|r| range.contains(r)).count();
+            match shard_repair {
+                None => {
+                    assert_eq!(
+                        in_range(&reference_repair.invalidated_rows),
+                        0,
+                        "round {round}: shard {shard} skipped but its range intersects \
+                         the reference invalidated set"
+                    );
+                    assert_eq!(
+                        in_range(&reference_repair.operator_rows),
+                        0,
+                        "round {round}: shard {shard} skipped but its range intersects \
+                         the patched row set"
+                    );
+                    assert_eq!(
+                        in_range(&reference_repair.embedding_rows),
+                        0,
+                        "round {round}: shard {shard} skipped but its range intersects \
+                         the re-encoded row set"
+                    );
+                }
+                Some(repair) => {
+                    let expected_rows: Vec<usize> = reference_repair
+                        .operator_rows
+                        .iter()
+                        .copied()
+                        .filter(|r| range.contains(r))
+                        .collect();
+                    assert_eq!(
+                        repair.operator_rows, expected_rows,
+                        "round {round}: shard {shard} patched rows must be the reference \
+                         set restricted to {range:?}"
+                    );
+                    let expected_invalid: Vec<usize> = reference_repair
+                        .invalidated_rows
+                        .iter()
+                        .copied()
+                        .filter(|r| range.contains(r))
+                        .collect();
+                    assert_eq!(
+                        repair.invalidated_rows, expected_invalid,
+                        "round {round}: shard {shard} invalidated rows must be the \
+                         reference set restricted to {range:?}"
+                    );
+                }
+            }
+        }
+
+        // Served parity on a full canonical-order query — which also
+        // re-warms both sides for the next round — with exact per-shard
+        // hit/miss/eviction accounting.
+        let reference_before = reference.stats();
+        let shard_before = router.stats().per_shard;
+        let reference_served = reference
+            .predict_batch(&all_nodes)
+            .expect("reference query");
+        let routed = router.predict_batch(&all_nodes).expect("routed query");
+        let reference_after = reference.stats();
+        let shard_after = router.stats().per_shard;
+        assert_predictions_bitwise_eq(&routed, &reference_served, &format!("round {round}"));
+        assert_eq!(
+            (reference_after.cache_misses - reference_before.cache_misses) as usize,
+            reference_repair.invalidated_rows.len(),
+            "round {round}: reference misses must equal the invalidated set"
+        );
+        for shard in 0..shards {
+            let range = &router.plan().ranges()[shard];
+            let range_len = range.end - range.start;
+            let invalidated_here = reference_repair
+                .invalidated_rows
+                .iter()
+                .filter(|r| range.contains(r))
+                .count();
+            let misses =
+                (shard_after[shard].cache_misses - shard_before[shard].cache_misses) as usize;
+            let hits = (shard_after[shard].cache_hits - shard_before[shard].cache_hits) as usize;
+            assert_eq!(
+                misses, invalidated_here,
+                "round {round}: shard {shard} must miss exactly its invalidated rows"
+            );
+            assert_eq!(
+                hits,
+                range_len - invalidated_here,
+                "round {round}: shard {shard} rows outside the invalidated set must \
+                 survive in cache"
+            );
+            assert_eq!(
+                shard_after[shard].cache_evictions, shard_before[shard].cache_evictions,
+                "round {round}: shard {shard} saw capacity evictions with a full-size cache"
+            );
+        }
+
+        report.rounds += 1;
+        report.operator_rows_patched += router_repair.operator_rows.len();
+        report.repair_fanout += router_repair.fanout as u64;
+        report.repair_skipped += router_repair.skipped as u64;
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +604,26 @@ mod tests {
         assert_eq!(report.rounds, trace.len());
         assert!(report.operator_rows_patched > 0);
         assert!(report.full_recompute_pushes > 0);
+    }
+
+    #[test]
+    fn sharded_oracle_passes_on_a_small_trace() {
+        let graph = random_graph(24, 12, 5);
+        let trace = random_trace(&graph, TraceShape::default(), 5);
+        let report = replay_differential_sharded(&graph, &trace, 6, 5, 3, false);
+        assert_eq!(report.rounds, trace.len());
+        assert_eq!(report.shards, 3);
+        assert!(report.repair_fanout > 0);
+    }
+
+    #[test]
+    fn sharded_oracle_handles_the_empty_trace_with_zero_fanout() {
+        let graph = random_graph(12, 4, 9);
+        let report = replay_differential_sharded(&graph, &[Vec::new()], 4, 9, 4, false);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.operator_rows_patched, 0);
+        assert_eq!(report.repair_fanout, 0);
+        assert_eq!(report.repair_skipped, 4);
     }
 
     #[test]

@@ -154,3 +154,75 @@ fn preset_scaling_never_produces_an_unusable_dataset() {
         assert!(ctx.simrank().is_some());
     }
 }
+
+#[test]
+fn corrupt_shard_snapshot_names_the_failing_shard_in_a_typed_error() {
+    // A shard fleet where one mapping fails its deferred `verify()`: the
+    // router must refuse to construct with `ServeError::Shard` naming the
+    // bad shard's index — never a panic, never a silently smaller fleet.
+    use sigma_serve::{EngineConfig, MappedSnapshot, ServeError, ShardRouter, SnapshotError};
+    use sigma_testutil::{random_graph, serving_fixture};
+    use std::sync::Arc;
+
+    let fixture = serving_fixture(&random_graph(24, 8, 99), 5, 99);
+    let mut image = Vec::new();
+    fixture.snapshot.write_to(&mut image).unwrap();
+
+    // Flip one byte inside the FEAT payload. The v2 layout is fixed: a
+    // 16-byte prelude, then 32-byte table entries of
+    // `tag[8] offset[8] len[8] crc[4] pad[4]`.
+    let count = u32::from_le_bytes(image[12..16].try_into().unwrap()) as usize;
+    let feat_offset = (0..count)
+        .map(|i| 16 + i * 32)
+        .find(|&p| &image[p..p + 8] == b"FEAT    ")
+        .map(|p| u64::from_le_bytes(image[p + 8..p + 16].try_into().unwrap()) as usize)
+        .expect("snapshot has a FEAT section");
+    let mut corrupt = image.clone();
+    corrupt[feat_offset + 3] ^= 0x40;
+
+    let config = EngineConfig {
+        cache_capacity: 24,
+        workers: 0,
+        max_chunk: 64,
+    };
+    for bad_shard in [0usize, 2] {
+        let snapshots: Vec<Arc<MappedSnapshot>> = (0..4)
+            .map(|shard| {
+                let bytes: &[u8] = if shard == bad_shard { &corrupt } else { &image };
+                // Open only runs the O(#sections) header pass, so the
+                // corruption stays latent until the router verifies.
+                Arc::new(MappedSnapshot::from_bytes(bytes).expect("payload damage opens fine"))
+            })
+            .collect();
+        let err = ShardRouter::from_mapped(snapshots, config).unwrap_err();
+        let rendered = err.to_string();
+        match err {
+            ServeError::Shard { shard, source } => {
+                assert_eq!(shard, bad_shard, "error must name the corrupt shard");
+                assert!(
+                    matches!(
+                        *source,
+                        ServeError::Snapshot(SnapshotError::ChecksumMismatch { ref tag })
+                            if tag == "FEAT"
+                    ),
+                    "expected a FEAT checksum failure, got {source}"
+                );
+            }
+            other => panic!("expected ServeError::Shard, got {other}"),
+        }
+        assert!(
+            rendered.contains(&format!("shard {bad_shard}")),
+            "display must name the shard: {rendered}"
+        );
+        assert!(
+            rendered.contains("checksum"),
+            "display keeps the cause: {rendered}"
+        );
+    }
+
+    // A clean fleet from the same image constructs fine.
+    let snapshots: Vec<Arc<MappedSnapshot>> = (0..4)
+        .map(|_| Arc::new(MappedSnapshot::from_bytes(&image).unwrap()))
+        .collect();
+    assert!(ShardRouter::from_mapped(snapshots, config).is_ok());
+}
