@@ -243,6 +243,147 @@ fn run_config(
     }
 }
 
+/// Client-side wire measurements from one through-the-daemon run.
+struct WireResult {
+    clients: usize,
+    requests: usize,
+    elapsed_s: f64,
+    /// Exact client-observed latency quantiles, ns (not histogram buckets —
+    /// the client keeps every sample).
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    mean_ns: f64,
+    /// Overload-phase accounting: one-shot connections fired at a
+    /// deliberately tiny admission queue.
+    overload_attempts: usize,
+    overload_shed: usize,
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives the daemon through real sockets: a latency phase (keep-alive
+/// clients, Zipfian single predicts, every sample timed client-side) and an
+/// overload phase (a burst of one-shot connections against a tiny admission
+/// queue, counting `429` sheds).
+fn run_wire(snapshot: &ServeSnapshot, requests: usize) -> WireResult {
+    use sigma_daemon::{Backend, Daemon, DaemonConfig};
+    use sigma_serve::InferenceEngine;
+    use std::sync::Arc;
+
+    let n = snapshot.num_nodes();
+    let clients = 4usize;
+
+    // Latency phase: a healthy daemon, default admission settings.
+    let engine =
+        Arc::new(InferenceEngine::new(snapshot, EngineConfig::default()).expect("wire engine"));
+    let daemon =
+        Daemon::start(Backend::Engine(engine), None, DaemonConfig::default()).expect("wire daemon");
+    let addr = daemon.local_addr();
+
+    let per_client = requests / clients;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let sampler = ZipfSampler::new(n, 1.25, 7 + c as u64);
+                let mut rng = StdRng::seed_from_u64(c as u64 ^ 0x3141);
+                let mut client = sigma_testutil::WireClient::connect(addr).expect("wire client");
+                let mut samples = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let node = sampler.sample(&mut rng);
+                    let body = format!("{{\"node\": {node}}}");
+                    let sent = Instant::now();
+                    let resp = client
+                        .request("POST", "/v1/predict", &[], body.as_bytes())
+                        .expect("wire predict");
+                    assert_eq!(resp.status, 200, "healthy-phase request failed");
+                    samples.push(sent.elapsed().as_nanos() as u64);
+                }
+                samples
+            })
+        })
+        .collect();
+    let mut samples: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("wire client thread"))
+        .collect();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    samples.sort_unstable();
+    let mean_ns = samples.iter().sum::<u64>() as f64 / samples.len().max(1) as f64;
+    let measured = samples.len();
+    let (p50_ns, p95_ns, p99_ns) = (
+        exact_quantile(&samples, 0.50),
+        exact_quantile(&samples, 0.95),
+        exact_quantile(&samples, 0.99),
+    );
+    daemon.shutdown();
+
+    // Overload phase: 1 worker, a 2-deep queue, and a burst of one-shot
+    // connections — the daemon must shed the excess with 429, cheaply.
+    let engine =
+        Arc::new(InferenceEngine::new(snapshot, EngineConfig::default()).expect("overload engine"));
+    let config = DaemonConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(Backend::Engine(engine), None, config).expect("overload daemon");
+    let addr = daemon.local_addr();
+    let burst_threads = 8usize;
+    let per_thread = 16usize;
+    let shed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let burst: Vec<_> = (0..burst_threads)
+        .map(|c| {
+            let shed = shed.clone();
+            std::thread::spawn(move || {
+                let sampler = ZipfSampler::new(n, 1.25, 11 + c as u64);
+                let mut rng = StdRng::seed_from_u64(c as u64 ^ 0x2718);
+                for _ in 0..per_thread {
+                    let node = sampler.sample(&mut rng);
+                    match sigma_testutil::wire::post_json(
+                        addr,
+                        "/v1/predict",
+                        &format!("{{\"node\": {node}}}"),
+                    ) {
+                        Ok(resp) if resp.status == 429 || resp.status == 503 => {
+                            shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Ok(_) => {}
+                        // A connection reset mid-shed still counts as shed.
+                        Err(_) => {
+                            shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in burst {
+        handle.join().expect("burst thread");
+    }
+    let overload_shed = shed.load(std::sync::atomic::Ordering::Relaxed);
+    daemon.shutdown();
+
+    WireResult {
+        clients,
+        requests: measured,
+        elapsed_s,
+        p50_ns,
+        p95_ns,
+        p99_ns,
+        mean_ns,
+        overload_attempts: burst_threads * per_thread,
+        overload_shed,
+    }
+}
+
 fn quantiles_json(h: &HistogramSnapshot) -> String {
     format!(
         "{{\"count\": {}, \"mean_ns\": {:.0}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
@@ -254,7 +395,7 @@ fn quantiles_json(h: &HistogramSnapshot) -> String {
     )
 }
 
-fn emit_json(quick: bool, n: usize, edges: usize, results: &[ConfigResult]) {
+fn emit_json(quick: bool, n: usize, edges: usize, results: &[ConfigResult], wire: &WireResult) {
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"serving_load\",\n");
@@ -309,7 +450,25 @@ fn emit_json(quick: bool, n: usize, edges: usize, results: &[ConfigResult]) {
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"wire\": {{\"clients\": {}, \"requests\": {}, \"elapsed_s\": {:.3}, \
+         \"throughput_requests_per_s\": {:.1}, \
+         \"latency\": {{\"mean_ns\": {:.0}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}, \
+         \"overload\": {{\"attempts\": {}, \"shed\": {}, \"shed_rate\": {:.4}}}}}\n",
+        wire.clients,
+        wire.requests,
+        wire.elapsed_s,
+        wire.requests as f64 / wire.elapsed_s.max(1e-9),
+        wire.mean_ns,
+        wire.p50_ns,
+        wire.p95_ns,
+        wire.p99_ns,
+        wire.overload_attempts,
+        wire.overload_shed,
+        wire.overload_shed as f64 / wire.overload_attempts.max(1) as f64,
+    ));
+    out.push_str("}\n");
 
     let here = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serving.json");
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
@@ -391,5 +550,21 @@ fn main() {
     }
     table.print("serving load: shards x Zipfian skew x batch mix");
     println!("(latency = per-request, merged over predict and predict_batch histograms)");
-    emit_json(quick, n, edges, &results);
+
+    // Through-the-wire mode: the same snapshot served by a real
+    // `sigma-daemon` over loopback sockets, latency measured client-side.
+    let wire = run_wire(&snapshot, requests);
+    println!(
+        "wire ({} keep-alive clients, {} requests): p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs; \
+         overload burst shed {}/{} ({:.1}%)",
+        wire.clients,
+        wire.requests,
+        wire.p50_ns as f64 / 1e3,
+        wire.p95_ns as f64 / 1e3,
+        wire.p99_ns as f64 / 1e3,
+        wire.overload_shed,
+        wire.overload_attempts,
+        100.0 * wire.overload_shed as f64 / wire.overload_attempts.max(1) as f64,
+    );
+    emit_json(quick, n, edges, &results, &wire);
 }

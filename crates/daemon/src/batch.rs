@@ -1,0 +1,219 @@
+//! Dynamic micro-batching for single-node predicts.
+//!
+//! SIGMA's row-sliced kernel amortises per-call overhead across the rows of
+//! one batch (`kernel_row_slice` measures exactly this), so concurrent
+//! `POST /v1/predict` requests are worth coalescing: the first arrival arms
+//! a configurable window, everything that lands within it is drained into
+//! **one** engine `predict_batch` call, and the per-request predictions are
+//! scattered back to their waiting connections in submission order.
+//!
+//! Robustness rules:
+//!
+//! * the pending queue is **bounded** — a full queue sheds the new arrival
+//!   with [`SubmitError::Shed`] (`429` on the wire), never grows without
+//!   limit;
+//! * entries whose deadline expired while queued are answered
+//!   [`BatchFailure::Deadline`] (`504`) at flush time, *before* the engine
+//!   sees them — an overloaded window never spends kernel time on requests
+//!   nobody is waiting for;
+//! * an engine error fails every request of that flush with the same
+//!   shared cause (the engine itself is unpoisoned — errors here are
+//!   query-shaped, not state-shaped).
+
+use crate::backend::Backend;
+use crate::metrics::DaemonMetrics;
+use sigma_serve::{Prediction, ServeError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a coalesced predict did not produce a prediction.
+#[derive(Debug, Clone)]
+pub enum BatchFailure {
+    /// The request's deadline expired while it waited in the queue.
+    Deadline,
+    /// The engine call serving this flush failed; the cause is shared by
+    /// every request of the flush.
+    Engine(Arc<ServeError>),
+}
+
+/// The reply a waiting connection receives.
+pub type BatchReply = Result<Prediction, BatchFailure>;
+
+/// Why a submit was refused synchronously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded pending queue is full — shed with `429`.
+    Shed,
+    /// The batcher has shut down.
+    Stopped,
+}
+
+struct Pending {
+    node: usize,
+    deadline: Instant,
+    reply: mpsc::Sender<BatchReply>,
+}
+
+struct Inner {
+    queue: Mutex<Vec<Pending>>,
+    arrived: Condvar,
+    stop: AtomicBool,
+    capacity: usize,
+}
+
+/// The coalescing front end over a [`Backend`]; owned by the daemon, one
+/// flusher thread.
+pub struct MicroBatcher {
+    inner: Arc<Inner>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MicroBatcher {
+    /// Starts the flusher thread. `window` is how long the first arrival
+    /// waits for company; `max_batch` caps one flush; `capacity` bounds the
+    /// pending queue.
+    pub fn start(
+        backend: Arc<Backend>,
+        metrics: Arc<DaemonMetrics>,
+        window: Duration,
+        max_batch: usize,
+        capacity: usize,
+    ) -> Self {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(Vec::new()),
+            arrived: Condvar::new(),
+            stop: AtomicBool::new(false),
+            capacity,
+        });
+        let flusher_inner = inner.clone();
+        let flusher = std::thread::Builder::new()
+            .name("sigma-daemon-batcher".into())
+            .spawn(move || flusher_loop(flusher_inner, backend, metrics, window, max_batch))
+            .expect("spawn micro-batcher thread");
+        Self {
+            inner,
+            flusher: Some(flusher),
+        }
+    }
+
+    /// Enqueues one node; the returned receiver yields the prediction (or
+    /// failure) when its flush completes.
+    pub fn submit(
+        &self,
+        node: usize,
+        deadline: Instant,
+    ) -> Result<mpsc::Receiver<BatchReply>, SubmitError> {
+        if self.inner.stop.load(Ordering::Acquire) {
+            return Err(SubmitError::Stopped);
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.inner.queue.lock().expect("batcher queue poisoned");
+            if queue.len() >= self.inner.capacity {
+                return Err(SubmitError::Shed);
+            }
+            queue.push(Pending {
+                node,
+                deadline,
+                reply: tx,
+            });
+        }
+        self.inner.arrived.notify_one();
+        Ok(rx)
+    }
+
+    /// Stops the flusher after it drains everything already queued.
+    pub fn shutdown(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.arrived.notify_all();
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn flusher_loop(
+    inner: Arc<Inner>,
+    backend: Arc<Backend>,
+    metrics: Arc<DaemonMetrics>,
+    window: Duration,
+    max_batch: usize,
+) {
+    loop {
+        // Wait for the first arrival (or shutdown).
+        {
+            let mut queue = inner.queue.lock().expect("batcher queue poisoned");
+            while queue.is_empty() {
+                if inner.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let (guard, _) = inner
+                    .arrived
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("batcher queue poisoned");
+                queue = guard;
+            }
+        }
+        // Arm the coalescing window: everything arriving within it joins
+        // this flush. A zero window degenerates to per-arrival flushing.
+        if !window.is_zero() {
+            std::thread::sleep(window);
+        }
+        let drained: Vec<Pending> = {
+            let mut queue = inner.queue.lock().expect("batcher queue poisoned");
+            let take = queue.len().min(max_batch);
+            queue.drain(..take).collect()
+        };
+        if drained.is_empty() {
+            continue;
+        }
+        flush(&backend, &metrics, drained);
+    }
+}
+
+/// Serves one drained batch: expired entries are answered `Deadline`
+/// without engine work; the rest ride one `predict_batch` call.
+fn flush(backend: &Backend, metrics: &DaemonMetrics, drained: Vec<Pending>) {
+    let now = Instant::now();
+    let mut live: Vec<Pending> = Vec::with_capacity(drained.len());
+    for pending in drained {
+        if now >= pending.deadline {
+            metrics.deadline_shed.inc();
+            let _ = pending.reply.send(Err(BatchFailure::Deadline));
+        } else {
+            live.push(pending);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let nodes: Vec<usize> = live.iter().map(|p| p.node).collect();
+    metrics.batch_flushes.inc();
+    metrics.coalesced_predicts.add(live.len() as u64);
+    if sigma_obs::ENABLED {
+        metrics.batch_size.record(live.len() as u64);
+    }
+    match backend.predict_batch(&nodes) {
+        Ok(predictions) => {
+            for (pending, prediction) in live.into_iter().zip(predictions) {
+                let _ = pending.reply.send(Ok(prediction));
+            }
+        }
+        Err(e) => {
+            let shared = Arc::new(e);
+            for pending in live {
+                let _ = pending
+                    .reply
+                    .send(Err(BatchFailure::Engine(shared.clone())));
+            }
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! A minimal-but-strict HTTP/1.1 layer over `std` sockets.
+//!
+//! No network crates exist in this offline environment, so the daemon
+//! hand-rolls the thin slice of HTTP/1.1 it needs: request-line + headers +
+//! `Content-Length` bodies in, fixed-length responses out. Strictness is the
+//! point — every limit is explicit and every violation is a typed
+//! [`HttpError`] that maps to one status code, so the fault-injection suite
+//! can assert the full surface:
+//!
+//! * request line and header lines are capped ([`HttpLimits::max_line_bytes`]),
+//! * header count is capped ([`HttpLimits::max_headers`]),
+//! * bodies are capped *before* they are read
+//!   ([`HttpLimits::max_body_bytes`]) — an oversized `Content-Length` is
+//!   rejected without buffering a byte,
+//! * socket read/write timeouts are set by the caller, and a timed-out read
+//!   surfaces as [`HttpError::Timeout`] (a slow-loris peer costs one worker
+//!   at most one timeout window),
+//! * `Transfer-Encoding` (chunked or otherwise) is refused outright — every
+//!   daemon payload is small and fixed-length.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Parsing limits, all enforced before unbounded buffering can happen.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Longest accepted request line or single header line, in bytes.
+    pub max_line_bytes: usize,
+    /// Maximum number of headers per request.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self {
+            max_line_bytes: 8 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request. Header names are lowercased at parse time.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method token, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path only; the daemon serves no query strings).
+    pub path: String,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked for the connection to close after this
+    /// exchange (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub close: bool,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Every way reading a request can fail, each mapped to one status code by
+/// [`HttpError::status`].
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before the first request byte — the keep-alive peer hung
+    /// up; not an error on the wire, no response is owed.
+    Closed,
+    /// The socket read timed out mid-request (slow-loris) → `408`.
+    Timeout,
+    /// The peer hung up mid-request (e.g. a truncated body) → `400`.
+    Truncated {
+        /// Which structure was cut short.
+        what: &'static str,
+    },
+    /// A request or header line exceeded the byte cap → `431`.
+    LineTooLong {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// More headers than the cap → `431`.
+    TooManyHeaders {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// `Content-Length` exceeds the body cap → `413` (rejected before any
+    /// body byte is buffered).
+    BodyTooLarge {
+        /// The configured cap.
+        limit: usize,
+        /// What the peer declared.
+        declared: usize,
+    },
+    /// The request line is not `METHOD TARGET HTTP/1.x` → `400`.
+    BadRequestLine,
+    /// A header line has no `:` separator or a malformed name → `400`.
+    BadHeader,
+    /// `Content-Length` is present but not a valid integer → `400`.
+    BadContentLength,
+    /// Any `Transfer-Encoding` (the daemon only accepts fixed-length
+    /// bodies) → `501`.
+    UnsupportedTransferEncoding,
+    /// An HTTP version other than 1.0/1.1 → `505`.
+    UnsupportedVersion,
+    /// A hard socket error; the connection is unusable, no response is
+    /// attempted.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status code this parse failure answers with (`None` when the
+    /// connection is already gone and no response is possible).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::Timeout => Some(408),
+            HttpError::Truncated { .. } => Some(400),
+            HttpError::LineTooLong { .. } | HttpError::TooManyHeaders { .. } => Some(431),
+            HttpError::BodyTooLarge { .. } => Some(413),
+            HttpError::BadRequestLine | HttpError::BadHeader | HttpError::BadContentLength => {
+                Some(400)
+            }
+            HttpError::UnsupportedTransferEncoding => Some(501),
+            HttpError::UnsupportedVersion => Some(505),
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "peer closed the connection"),
+            HttpError::Timeout => write!(f, "socket read timed out mid-request"),
+            HttpError::Truncated { what } => write!(f, "peer hung up mid-{what}"),
+            HttpError::LineTooLong { limit } => {
+                write!(f, "request/header line exceeds {limit} bytes")
+            }
+            HttpError::TooManyHeaders { limit } => write!(f, "more than {limit} headers"),
+            HttpError::BodyTooLarge { limit, declared } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds the {limit}-byte cap"
+                )
+            }
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::BadHeader => write!(f, "malformed header line"),
+            HttpError::BadContentLength => write!(f, "malformed Content-Length"),
+            HttpError::UnsupportedTransferEncoding => {
+                write!(
+                    f,
+                    "Transfer-Encoding is not supported (fixed-length bodies only)"
+                )
+            }
+            HttpError::UnsupportedVersion => write!(f, "only HTTP/1.0 and HTTP/1.1 are served"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Whether an I/O failure is a read timeout (the two kinds platforms use
+/// for `SO_RCVTIMEO` expiry).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn map_io(e: io::Error) -> HttpError {
+    if is_timeout(&e) {
+        HttpError::Timeout
+    } else {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes (the terminator is
+/// stripped, along with a trailing `\r`). `Ok(None)` means clean EOF before
+/// any byte of this line.
+fn read_line<R: BufRead>(reader: &mut R, max: usize) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_io(e)),
+        };
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::Truncated { what: "header" });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len() + pos > max {
+                    return Err(HttpError::LineTooLong { limit: max });
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(line));
+            }
+            None => {
+                let take = buf.len();
+                if line.len() + take > max {
+                    return Err(HttpError::LineTooLong { limit: max });
+                }
+                line.extend_from_slice(buf);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+/// Reads and validates one request. [`HttpError::Closed`] distinguishes the
+/// peer hanging up between requests (normal keep-alive teardown) from every
+/// actual protocol violation.
+pub fn read_request<R: BufRead>(reader: &mut R, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let line = match read_line(reader, limits.max_line_bytes)? {
+        None => return Err(HttpError::Closed),
+        Some(line) => line,
+    };
+    let line = std::str::from_utf8(&line).map_err(|_| HttpError::BadRequestLine)?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequestLine);
+    }
+    let http10 = match version {
+        "HTTP/1.1" => false,
+        "HTTP/1.0" => true,
+        _ => return Err(HttpError::UnsupportedVersion),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match read_line(reader, limits.max_line_bytes)? {
+            None => return Err(HttpError::Truncated { what: "header" }),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == limits.max_headers {
+            return Err(HttpError::TooManyHeaders {
+                limit: limits.max_headers,
+            });
+        }
+        let line = std::str::from_utf8(&line).map_err(|_| HttpError::BadHeader)?;
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if find("transfer-encoding").is_some() {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let content_length = match find("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadContentLength)?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            limit: limits.max_body_bytes,
+            declared: content_length,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        let mut read = 0usize;
+        while read < content_length {
+            match reader.read(&mut body[read..]) {
+                Ok(0) => return Err(HttpError::Truncated { what: "body" }),
+                Ok(n) => read += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(map_io(e)),
+            }
+        }
+    }
+
+    let connection = find("connection").map(|v| v.to_ascii_lowercase());
+    let close = match connection.as_deref() {
+        Some("close") => true,
+        Some("keep-alive") => false,
+        _ => http10,
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path: target.to_string(),
+        headers,
+        body,
+        close,
+    })
+}
+
+/// One response, written with [`write_response`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Extra headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Whether to advertise (and perform) connection close.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+            close: false,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": <kind>, "detail": <detail>}`.
+    pub fn error(status: u16, kind: &str, detail: &str) -> Self {
+        Self::json(
+            status,
+            format!(
+                "{{\"error\": {}, \"detail\": {}}}",
+                crate::json::quote(kind),
+                crate::json::quote(detail)
+            ),
+        )
+    }
+}
+
+/// The canonical reason phrase for every status the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Serialises `response` (status line, `Content-Length`, body) and flushes.
+pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if response.close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"node\": 3}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/predict");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"node\": 3}");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.close);
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.close, "HTTP/1.0 defaults to close");
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn typed_rejections() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+        assert!(matches!(
+            parse(b"GET /\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion)
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::BadHeader)
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding)
+        ));
+        // Truncated body: declared 10 bytes, supplied 3.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Truncated { what: "body" })
+        ));
+        // Headers cut off mid-flight.
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nHost: x\r\n"),
+            Err(HttpError::Truncated { what: "header" })
+        ));
+    }
+
+    #[test]
+    fn limits_are_enforced_before_buffering() {
+        let limits = HttpLimits {
+            max_line_bytes: 32,
+            max_headers: 2,
+            max_body_bytes: 8,
+        };
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64));
+        assert!(matches!(
+            read_request(&mut BufReader::new(long.as_bytes()), &limits),
+            Err(HttpError::LineTooLong { limit: 32 })
+        ));
+        let many = b"GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&many[..]), &limits),
+            Err(HttpError::TooManyHeaders { limit: 2 })
+        ));
+        let big = b"POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&big[..]), &limits),
+            Err(HttpError::BodyTooLarge {
+                limit: 8,
+                declared: 100000
+            })
+        ));
+    }
+
+    #[test]
+    fn writes_a_response() {
+        let mut out = Vec::new();
+        let mut resp = Response::json(200, "{\"ok\": true}".into());
+        resp.extra_headers.push(("retry-after", "1".into()));
+        resp.close = true;
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 12\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
+    }
+
+    #[test]
+    fn every_error_has_a_stable_status() {
+        assert_eq!(HttpError::Closed.status(), None);
+        assert_eq!(HttpError::Timeout.status(), Some(408));
+        assert_eq!(HttpError::Truncated { what: "body" }.status(), Some(400));
+        assert_eq!(HttpError::LineTooLong { limit: 1 }.status(), Some(431));
+        assert_eq!(
+            HttpError::BodyTooLarge {
+                limit: 1,
+                declared: 2
+            }
+            .status(),
+            Some(413)
+        );
+        assert_eq!(HttpError::UnsupportedTransferEncoding.status(), Some(501));
+        assert_eq!(HttpError::UnsupportedVersion.status(), Some(505));
+    }
+}

@@ -1,0 +1,458 @@
+//! End-to-end daemon tests through real sockets.
+//!
+//! The load-bearing assertion: responses that travelled the full wire path
+//! (HTTP parse → admission queue → worker → micro-batcher → engine → JSON →
+//! socket) are **bitwise identical** to direct in-process engine calls over
+//! the same snapshot. Runs under `SIGMA_NUM_THREADS=1` and `=4` in CI; the
+//! contract is thread-count independent.
+
+use sigma_daemon::{json, Backend, Daemon, DaemonConfig};
+use sigma_graph::Graph;
+use sigma_serve::{EngineConfig, InferenceEngine, Prediction, ShardRouter, ShardRouterConfig};
+use sigma_testutil::wire;
+use sigma_testutil::{random_graph, serving_fixture};
+use std::sync::Arc;
+
+fn fixture_graph(seed: u64) -> Graph {
+    random_graph(40, 60, seed)
+}
+
+/// Decodes `{"node":…, "label":…, "logits":[…]}` into a comparable triple;
+/// `cached`/`stale` are intentionally ignored (they depend on query order,
+/// not on the model).
+fn decode_prediction(value: &json::Json) -> (usize, usize, Vec<u32>) {
+    let node = value.get("node").and_then(json::Json::as_index).unwrap();
+    let label = value.get("label").and_then(json::Json::as_index).unwrap();
+    let logits: Vec<u32> = value
+        .get("logits")
+        .and_then(json::Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|l| (l.as_num().unwrap() as f32).to_bits())
+        .collect();
+    (node, label, logits)
+}
+
+fn reference_bits(p: &Prediction) -> (usize, usize, Vec<u32>) {
+    (
+        p.node,
+        p.label,
+        p.logits.iter().map(|l| l.to_bits()).collect(),
+    )
+}
+
+#[test]
+fn predict_is_bitwise_equal_to_in_process_engine() {
+    let fixture = serving_fixture(&fixture_graph(11), 4, 11);
+    let engine =
+        Arc::new(InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("engine"));
+    let reference =
+        InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("reference");
+    let daemon =
+        Daemon::start(Backend::Engine(engine), None, DaemonConfig::default()).expect("daemon");
+    let addr = daemon.local_addr();
+
+    for node in 0..fixture.snapshot.num_nodes() {
+        let resp = wire::post_json(addr, "/v1/predict", &format!("{{\"node\": {node}}}"))
+            .expect("predict");
+        assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+        let value = json::parse(&resp.body).expect("response parses");
+        let expected = reference.predict(node).expect("reference predict");
+        assert_eq!(
+            decode_prediction(&value),
+            reference_bits(&expected),
+            "wire logits for node {node} must be bitwise equal"
+        );
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn predict_batch_is_bitwise_equal_and_order_preserving() {
+    let fixture = serving_fixture(&fixture_graph(12), 4, 12);
+    let engine =
+        Arc::new(InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("engine"));
+    let reference =
+        InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("reference");
+    let daemon =
+        Daemon::start(Backend::Engine(engine), None, DaemonConfig::default()).expect("daemon");
+
+    // Deliberately unsorted, with repeats.
+    let nodes = [7usize, 3, 7, 0, 21, 14, 3];
+    let body = format!(
+        "{{\"nodes\": [{}]}}",
+        nodes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let resp = wire::post_json(daemon.local_addr(), "/v1/predict_batch", &body).expect("batch");
+    assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+    let value = json::parse(&resp.body).expect("response parses");
+    assert_eq!(
+        value.get("count").and_then(json::Json::as_index),
+        Some(nodes.len())
+    );
+    let served = value
+        .get("predictions")
+        .and_then(json::Json::as_arr)
+        .expect("predictions array");
+    let expected = reference.predict_batch(&nodes).expect("reference batch");
+    assert_eq!(served.len(), expected.len());
+    for (wire_pred, reference_pred) in served.iter().zip(&expected) {
+        assert_eq!(decode_prediction(wire_pred), reference_bits(reference_pred));
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn sharded_backend_is_bitwise_equal_over_the_wire() {
+    let fixture = serving_fixture(&fixture_graph(13), 4, 13);
+    let router = ShardRouter::new(
+        &fixture.snapshot,
+        &ShardRouterConfig {
+            shards: 4,
+            engine: EngineConfig::default(),
+        },
+    )
+    .expect("router");
+    let reference =
+        InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("reference");
+    let daemon = Daemon::start(
+        Backend::Router(Arc::new(router)),
+        None,
+        DaemonConfig::default(),
+    )
+    .expect("daemon");
+    let addr = daemon.local_addr();
+
+    for node in (0..fixture.snapshot.num_nodes()).step_by(3) {
+        let resp = wire::post_json(addr, "/v1/predict", &format!("{{\"node\": {node}}}"))
+            .expect("predict");
+        assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+        let value = json::parse(&resp.body).expect("response parses");
+        let expected = reference.predict(node).expect("reference predict");
+        assert_eq!(decode_prediction(&value), reference_bits(&expected));
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let fixture = serving_fixture(&fixture_graph(14), 4, 14);
+    let engine =
+        Arc::new(InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("engine"));
+    let daemon =
+        Daemon::start(Backend::Engine(engine), None, DaemonConfig::default()).expect("daemon");
+
+    let mut client = wire::WireClient::connect(daemon.local_addr()).expect("connect");
+    for node in 0..10usize {
+        let resp = client
+            .request(
+                "POST",
+                "/v1/predict",
+                &[],
+                format!("{{\"node\": {node}}}").as_bytes(),
+            )
+            .expect("keep-alive request");
+        assert_eq!(resp.status, 200);
+    }
+    let stats = daemon.stats();
+    assert_eq!(
+        stats.connections_accepted, 1,
+        "one connection, ten requests"
+    );
+    assert_eq!(stats.requests, 10);
+    daemon.shutdown();
+}
+
+#[test]
+fn concurrent_predicts_coalesce_into_one_engine_batch() {
+    let fixture = serving_fixture(&fixture_graph(15), 4, 15);
+    let engine =
+        Arc::new(InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("engine"));
+    let config = DaemonConfig {
+        micro_batch_window_us: 50_000, // 50 ms: wide enough to be deterministic
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(Backend::Engine(engine.clone()), None, config).expect("daemon");
+    let addr = daemon.local_addr();
+
+    let before = engine.stats().batches_served;
+    let handles: Vec<_> = (0..4usize)
+        .map(|node| {
+            std::thread::spawn(move || {
+                wire::post_json(addr, "/v1/predict", &format!("{{\"node\": {node}}}"))
+                    .expect("predict")
+            })
+        })
+        .collect();
+    for handle in handles {
+        let resp = handle.join().expect("client thread");
+        assert_eq!(resp.status, 200);
+    }
+    let stats = daemon.stats();
+    assert_eq!(stats.coalesced_predicts, 4);
+    assert_eq!(
+        engine.stats().batches_served - before,
+        stats.batch_flushes,
+        "every flush is exactly one engine batch"
+    );
+    assert!(
+        stats.batch_flushes < 4,
+        "4 concurrent predicts inside a 50ms window must coalesce (got {} flushes)",
+        stats.batch_flushes
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn stats_and_metrics_endpoints_parse() {
+    let fixture = serving_fixture(&fixture_graph(16), 4, 16);
+    let engine =
+        Arc::new(InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("engine"));
+    let daemon =
+        Daemon::start(Backend::Engine(engine), None, DaemonConfig::default()).expect("daemon");
+    let addr = daemon.local_addr();
+
+    let _ = wire::post_json(addr, "/v1/predict", "{\"node\": 1}").expect("predict");
+
+    let stats = wire::get(addr, "/v1/stats").expect("stats");
+    assert_eq!(stats.status, 200);
+    let value = json::parse(&stats.body).expect("stats body is valid JSON");
+    let daemon_obj = value.get("daemon").expect("daemon section");
+    assert!(
+        daemon_obj
+            .get("requests")
+            .and_then(json::Json::as_index)
+            .unwrap()
+            >= 1
+    );
+    assert!(value.get("engine").is_some());
+    assert!(value.get("registry").is_some());
+
+    let metrics = wire::get(addr, "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_str();
+    if sigma_obs::ENABLED {
+        assert!(
+            text.contains("sigma_daemon_requests_total"),
+            "daemon counters must appear in the exposition:\n{text}"
+        );
+        // Prometheus text shape: every non-comment line is `name[{labels}] value`.
+        for line in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            assert!(
+                line.rsplit_once(' ').is_some(),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn edges_then_repair_keeps_wire_equal_to_reference_lineage() {
+    let graph = fixture_graph(17);
+    let fixture = serving_fixture(&graph, 4, 17);
+    let engine =
+        Arc::new(InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("engine"));
+    let daemon = Daemon::start(
+        Backend::Engine(engine),
+        Some(fixture.maintainer),
+        DaemonConfig::default(),
+    )
+    .expect("daemon");
+    let addr = daemon.local_addr();
+
+    // The same lineage, in process: engine + maintainer from a twin fixture.
+    let twin = serving_fixture(&graph, 4, 17);
+    let reference =
+        InferenceEngine::new(&twin.snapshot, EngineConfig::default()).expect("reference");
+    let mut reference_maintainer = twin.maintainer;
+
+    let (u, v) = (0usize, 9usize);
+    let resp = wire::post_json(
+        addr,
+        "/v1/edges",
+        &format!("{{\"updates\": [{{\"op\": \"insert\", \"u\": {u}, \"v\": {v}}}]}}"),
+    )
+    .expect("edges");
+    assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+    let value = json::parse(&resp.body).expect("edges response parses");
+    assert_eq!(value.get("applied").and_then(json::Json::as_index), Some(1));
+    assert_eq!(value.get("maintainer"), Some(&json::Json::Bool(true)));
+
+    let resp = wire::post_json(addr, "/v1/repair", "{}").expect("repair");
+    assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+    let value = json::parse(&resp.body).expect("repair response parses");
+    assert!(value.get("operator_rows").is_some());
+
+    reference_maintainer
+        .apply_batch(&[sigma_simrank::EdgeUpdate::Insert(u, v)])
+        .expect("reference apply");
+    reference
+        .apply_edge_updates(&[sigma_simrank::EdgeUpdate::Insert(u, v)])
+        .expect("reference invalidate");
+    reference
+        .repair_from(&mut reference_maintainer)
+        .expect("reference repair");
+
+    for node in 0..graph.num_nodes() {
+        let resp = wire::post_json(addr, "/v1/predict", &format!("{{\"node\": {node}}}"))
+            .expect("predict");
+        assert_eq!(resp.status, 200);
+        let value = json::parse(&resp.body).expect("response parses");
+        let expected = reference.predict(node).expect("reference predict");
+        assert_eq!(
+            decode_prediction(&value),
+            reference_bits(&expected),
+            "post-repair logits for node {node}"
+        );
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn reload_swaps_to_the_new_snapshot_bitwise() {
+    let graph = fixture_graph(18);
+    let fixture_a = serving_fixture(&graph, 4, 18);
+    let fixture_b = serving_fixture(&graph, 4, 19);
+
+    let path = std::env::temp_dir().join(format!(
+        "sigma-daemon-reload-{}-{}.snapshot",
+        std::process::id(),
+        std::env::var("SIGMA_NUM_THREADS").unwrap_or_default()
+    ));
+    fixture_b.snapshot.save(&path).expect("save snapshot B");
+
+    let engine = Arc::new(
+        InferenceEngine::new(&fixture_a.snapshot, EngineConfig::default()).expect("engine"),
+    );
+    let reference_b =
+        InferenceEngine::new(&fixture_b.snapshot, EngineConfig::default()).expect("reference B");
+    let daemon =
+        Daemon::start(Backend::Engine(engine), None, DaemonConfig::default()).expect("daemon");
+    let addr = daemon.local_addr();
+
+    let resp = wire::post_json(
+        addr,
+        "/v1/reload",
+        &format!("{{\"path\": {}}}", json::quote(path.to_str().unwrap())),
+    )
+    .expect("reload");
+    assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+    assert_eq!(daemon.stats().reloads, 1);
+
+    for node in (0..graph.num_nodes()).step_by(5) {
+        let resp = wire::post_json(addr, "/v1/predict", &format!("{{\"node\": {node}}}"))
+            .expect("predict");
+        assert_eq!(resp.status, 200);
+        let value = json::parse(&resp.body).expect("response parses");
+        let expected = reference_b.predict(node).expect("reference predict");
+        assert_eq!(
+            decode_prediction(&value),
+            reference_bits(&expected),
+            "post-reload logits must come from snapshot B (node {node})"
+        );
+    }
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reload_is_not_implemented_for_sharded_backends() {
+    let fixture = serving_fixture(&fixture_graph(20), 4, 20);
+    let router = ShardRouter::new(
+        &fixture.snapshot,
+        &ShardRouterConfig {
+            shards: 2,
+            engine: EngineConfig::default(),
+        },
+    )
+    .expect("router");
+    let daemon = Daemon::start(
+        Backend::Router(Arc::new(router)),
+        None,
+        DaemonConfig::default(),
+    )
+    .expect("daemon");
+    let resp = wire::post_json(
+        daemon.local_addr(),
+        "/v1/reload",
+        "{\"path\": \"/nonexistent\"}",
+    )
+    .expect("reload");
+    assert_eq!(resp.status, 501);
+    daemon.shutdown();
+}
+
+#[test]
+fn repair_without_maintainer_is_a_conflict() {
+    let fixture = serving_fixture(&fixture_graph(21), 4, 21);
+    let engine =
+        Arc::new(InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("engine"));
+    let daemon =
+        Daemon::start(Backend::Engine(engine), None, DaemonConfig::default()).expect("daemon");
+    let resp = wire::post_json(daemon.local_addr(), "/v1/repair", "{}").expect("repair");
+    assert_eq!(resp.status, 409);
+    let value = json::parse(&resp.body).expect("error body parses");
+    assert_eq!(
+        value.get("error").and_then(json::Json::as_str),
+        Some("no_maintainer")
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn unknown_paths_and_wrong_methods_are_typed() {
+    let fixture = serving_fixture(&fixture_graph(22), 4, 22);
+    let engine =
+        Arc::new(InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("engine"));
+    let daemon =
+        Daemon::start(Backend::Engine(engine), None, DaemonConfig::default()).expect("daemon");
+    let addr = daemon.local_addr();
+
+    let health = wire::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    let value = json::parse(&health.body).expect("health body parses");
+    assert_eq!(value.get("status").and_then(json::Json::as_str), Some("ok"));
+    assert_eq!(
+        value.get("nodes").and_then(json::Json::as_index),
+        Some(fixture.snapshot.num_nodes())
+    );
+
+    assert_eq!(wire::get(addr, "/v1/nonsense").expect("404").status, 404);
+    assert_eq!(wire::get(addr, "/v1/predict").expect("405").status, 405);
+    assert_eq!(
+        wire::post_json(addr, "/healthz", "{}").expect("405").status,
+        405
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_cleanly() {
+    let fixture = serving_fixture(&fixture_graph(23), 4, 23);
+    let engine =
+        Arc::new(InferenceEngine::new(&fixture.snapshot, EngineConfig::default()).expect("engine"));
+    let daemon =
+        Daemon::start(Backend::Engine(engine), None, DaemonConfig::default()).expect("daemon");
+    let addr = daemon.local_addr();
+
+    let client = std::thread::spawn(move || {
+        let mut client = wire::WireClient::connect(addr).expect("connect");
+        client
+            .request("POST", "/v1/predict", &[], b"{\"node\": 2}")
+            .expect("in-flight request")
+    });
+    // Give the request time to be admitted, then drain.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let report = daemon.shutdown();
+    let resp = client.join().expect("client thread");
+    assert_eq!(resp.status, 200, "in-flight work completes during drain");
+    assert!(report.drained_cleanly, "drain must finish inside deadline");
+}

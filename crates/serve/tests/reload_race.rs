@@ -1,0 +1,150 @@
+//! Hot-reload drain race: concurrent queriers across `hot_reload_mapped`
+//! must observe only *pre*- or *post*-reload logits, never a torn mix.
+//!
+//! The engine's contract (PR 7) is that a reload swaps the serving state
+//! under one write lock while each query/batch holds one read lock, with
+//! the operator-epoch guard keeping stale rows out of the cache. This test
+//! races real threads against a real mapped reload and asserts the
+//! observable half of that contract, at 1 and at 4 querier threads.
+
+use sigma_serve::{EngineConfig, InferenceEngine, MappedSnapshot};
+use sigma_testutil::{random_graph, serving_fixture};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bit patterns of every node's logits under one snapshot.
+fn logit_table(engine: &InferenceEngine) -> Vec<Vec<u32>> {
+    (0..engine.num_nodes())
+        .map(|node| {
+            engine
+                .predict(node)
+                .expect("reference predict")
+                .logits
+                .iter()
+                .map(|l| l.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+fn run_reload_race(queriers: usize, seed: u64) {
+    let graph = random_graph(36, 54, seed);
+    let fixture_a = serving_fixture(&graph, 4, seed);
+    let fixture_b = serving_fixture(&graph, 4, seed + 1);
+
+    let path = std::env::temp_dir().join(format!(
+        "sigma-reload-race-{}-{queriers}-{seed}.snapshot",
+        std::process::id()
+    ));
+    fixture_b.snapshot.save(&path).expect("save snapshot B");
+
+    let engine = Arc::new(
+        InferenceEngine::new(&fixture_a.snapshot, EngineConfig::default()).expect("engine"),
+    );
+    let table_a = Arc::new(logit_table(
+        &InferenceEngine::new(&fixture_a.snapshot, EngineConfig::default()).expect("ref A"),
+    ));
+    let table_b = Arc::new(logit_table(
+        &InferenceEngine::new(&fixture_b.snapshot, EngineConfig::default()).expect("ref B"),
+    ));
+    // The race only proves something if the two snapshots actually differ.
+    assert_ne!(table_a[0], table_b[0], "fixtures must differ");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let num_nodes = graph.num_nodes();
+    let handles: Vec<_> = (0..queriers)
+        .map(|t| {
+            let engine = engine.clone();
+            let table_a = table_a.clone();
+            let table_b = table_b.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut observed_pre = 0usize;
+                let mut observed_post = 0usize;
+                let mut node = t;
+                while !stop.load(Ordering::Relaxed) {
+                    // Alternate single predicts and small batches (both
+                    // paths hold one state read lock end-to-end for sizes
+                    // within max_chunk).
+                    let batch = [node, (node + 1) % num_nodes, (node + 2) % num_nodes];
+                    let predictions = engine.predict_batch(&batch).expect("racing batch");
+                    let mut batch_sides = Vec::with_capacity(batch.len());
+                    for p in &predictions {
+                        let bits: Vec<u32> = p.logits.iter().map(|l| l.to_bits()).collect();
+                        if bits == table_a[p.node] {
+                            observed_pre += 1;
+                            batch_sides.push("pre");
+                        } else if bits == table_b[p.node] {
+                            observed_post += 1;
+                            batch_sides.push("post");
+                        } else {
+                            panic!(
+                                "node {} served logits matching neither snapshot (torn read)",
+                                p.node
+                            );
+                        }
+                    }
+                    // A batch within max_chunk is served under one state
+                    // read lock: it must be wholly pre or wholly post.
+                    assert!(
+                        batch_sides.windows(2).all(|w| w[0] == w[1]),
+                        "one batch mixed snapshots: {batch_sides:?}"
+                    );
+                    node = (node + 5) % num_nodes;
+                }
+                (observed_pre, observed_post)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(60));
+    let mapped = MappedSnapshot::open(&path).expect("open mapped B");
+    engine
+        .hot_reload_mapped(Arc::new(mapped))
+        .expect("hot reload under load");
+    std::thread::sleep(Duration::from_millis(60));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total_pre = 0usize;
+    let mut total_post = 0usize;
+    for handle in handles {
+        let (pre, post) = handle.join().expect("querier thread");
+        total_pre += pre;
+        total_post += post;
+    }
+    assert!(
+        total_post > 0,
+        "queriers kept running after the swap, so post-reload serves must appear"
+    );
+    // total_pre is usually > 0 too, but a slow machine could start the
+    // queriers late; the hard guarantee is only-pre-or-post, asserted
+    // inside the loop.
+    let _ = total_pre;
+
+    // Post-drain, everything is snapshot B.
+    for node in 0..num_nodes {
+        let bits: Vec<u32> = engine
+            .predict(node)
+            .expect("settled predict")
+            .logits
+            .iter()
+            .map(|l| l.to_bits())
+            .collect();
+        assert_eq!(
+            bits, table_b[node],
+            "settled serving must be wholly post-reload"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reload_race_single_querier() {
+    run_reload_race(1, 71);
+}
+
+#[test]
+fn reload_race_four_queriers() {
+    run_reload_race(4, 72);
+}

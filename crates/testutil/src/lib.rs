@@ -29,9 +29,11 @@
 
 pub mod generate;
 pub mod oracle;
+pub mod wire;
 
 pub use generate::{random_graph, random_trace, TraceShape};
 pub use oracle::{
     replay_differential, replay_differential_sharded, serving_fixture, DifferentialReport,
     ServingFixture, ShardedDifferentialReport,
 };
+pub use wire::{WireClient, WireResponse};
