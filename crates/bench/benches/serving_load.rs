@@ -8,7 +8,10 @@
 //! sampler (popularity rank decorrelated from node id by a seeded shuffle)
 //! across a grid of skews × batch mixes, applying a deterministic edit batch
 //! plus `repair_from` every `EDIT_EVERY` requests so repairs contend with
-//! queries the way they do in production.
+//! queries the way they do in production. The `similarity` mix blends in
+//! top-k `most_similar` lookups, which read operator rows directly and
+//! bypass the Ẑ-row cache — its cache profile against `interactive` shows
+//! what recommendation traffic does (and doesn't do) to the hit rate.
 //!
 //! Latency quantiles come from the engine's own `sigma-obs` histograms
 //! (`sigma_serve_predict_ns` / `sigma_serve_predict_batch_ns`) — the harness
@@ -76,6 +79,11 @@ struct BatchMix {
     /// `(batch_size, weight)` — size 1 goes through `predict`, larger sizes
     /// through `predict_batch`.
     sizes: &'static [(usize, u32)],
+    /// Percentage of requests that are top-k `most_similar` lookups instead
+    /// of predicts. Similarity reads operator rows directly and never
+    /// touches the Ẑ-row cache, so mixes with similarity traffic profile
+    /// the cache differently than pure predict mixes.
+    similar_pct: u32,
 }
 
 impl BatchMix {
@@ -97,11 +105,22 @@ const MIXES: &[BatchMix] = &[
     BatchMix {
         name: "interactive",
         sizes: &[(1, 70), (4, 20), (16, 10)],
+        similar_pct: 0,
     },
     // Batch-scoring traffic: almost everything arrives in bulk.
     BatchMix {
         name: "bulk",
         sizes: &[(16, 40), (64, 50), (128, 10)],
+        similar_pct: 0,
+    },
+    // Recommendation traffic: half the requests are top-k similar-nodes
+    // lookups over the same Zipfian popularity. Those bypass the Ẑ-row
+    // cache entirely, so the hit-rate and eviction contrast against
+    // `interactive` is the signal this mix exists to record.
+    BatchMix {
+        name: "similarity",
+        sizes: &[(1, 70), (4, 20), (16, 10)],
+        similar_pct: 50,
     },
 ];
 
@@ -120,10 +139,13 @@ struct ConfigResult {
     nodes_served: u64,
     repairs: usize,
     elapsed_s: f64,
-    /// Per-request latency over both entry points (merged histograms).
+    /// Per-request latency over all entry points (merged histograms).
     latency: HistogramSnapshot,
     predict: HistogramSnapshot,
     predict_batch: HistogramSnapshot,
+    /// Top-k similarity queries served (zero for pure predict mixes).
+    similar_queries: u64,
+    similar: HistogramSnapshot,
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
@@ -203,6 +225,12 @@ fn run_config(
             assert!(!repair.full_refresh, "engine lost its operator lineage");
             repairs += 1;
         }
+        if mix.similar_pct > 0 && rng.gen_range(0..100u32) < mix.similar_pct {
+            let _ = engine
+                .most_similar(sampler.sample(&mut rng), TOP_K / 2)
+                .expect("similar query");
+            continue;
+        }
         let size = mix.sample(&mut rng);
         if size == 1 {
             let _ = engine.predict(sampler.sample(&mut rng)).expect("query");
@@ -218,6 +246,7 @@ fn run_config(
     let metrics = sigma_obs::snapshot();
     let predict = histogram(&metrics, "sigma_serve_predict_ns");
     let predict_batch = histogram(&metrics, "sigma_serve_predict_batch_ns");
+    let similar = histogram(&metrics, "sigma_serve_similar_ns");
     // Dropping the router here releases its registry entries (weak refs), so
     // the next config's snapshot sees only its own engines.
     drop(engine);
@@ -230,9 +259,11 @@ fn run_config(
         nodes_served: stats.engines.nodes_served,
         repairs,
         elapsed_s,
-        latency: predict.merged(&predict_batch),
+        latency: predict.merged(&predict_batch).merged(&similar),
         predict,
         predict_batch,
+        similar_queries: stats.engines.similar_queries,
+        similar,
         cache_hits: stats.engines.cache_hits,
         cache_misses: stats.engines.cache_misses,
         cache_evictions: stats.engines.cache_evictions,
@@ -423,6 +454,7 @@ fn emit_json(quick: bool, n: usize, edges: usize, results: &[ConfigResult], wire
              \"repairs\": {}, \"elapsed_s\": {:.3}, \
              \"throughput_requests_per_s\": {:.1}, \"throughput_nodes_per_s\": {:.1}, \
              \"latency\": {}, \"predict\": {}, \"predict_batch\": {}, \
+             \"similar\": {{\"queries\": {}, \"latency\": {}}}, \
              \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
              \"hit_rate\": {:.4}}}, \
              \"repair\": {{\"rows_repaired\": {}, \"dirty_seeds\": {}, \
@@ -439,6 +471,8 @@ fn emit_json(quick: bool, n: usize, edges: usize, results: &[ConfigResult], wire
             quantiles_json(&r.latency),
             quantiles_json(&r.predict),
             quantiles_json(&r.predict_batch),
+            r.similar_queries,
+            quantiles_json(&r.similar),
             r.cache_hits,
             r.cache_misses,
             r.cache_evictions,
@@ -523,8 +557,8 @@ fn main() {
     .expect("serve snapshot");
 
     let mut table = TablePrinter::new(vec![
-        "shards", "skew", "mix", "req/s", "p50 µs", "p95 µs", "p99 µs", "hit rate", "repairs",
-        "fanout",
+        "shards", "skew", "mix", "req/s", "p50 µs", "p95 µs", "p99 µs", "hit rate", "sim q",
+        "repairs", "fanout",
     ]);
     let mut results = Vec::new();
     for &shards in SHARD_COUNTS {
@@ -541,6 +575,7 @@ fn main() {
                     format!("{:.1}", r.latency.quantile(0.95) as f64 / 1e3),
                     format!("{:.1}", r.latency.quantile(0.99) as f64 / 1e3),
                     format!("{hits:.3}"),
+                    format!("{}", r.similar_queries),
                     format!("{}", r.repairs),
                     format!("{}/{}", r.repair_fanout, r.repair_fanout + r.repair_skipped),
                 ]);
@@ -549,7 +584,7 @@ fn main() {
         }
     }
     table.print("serving load: shards x Zipfian skew x batch mix");
-    println!("(latency = per-request, merged over predict and predict_batch histograms)");
+    println!("(latency = per-request, merged over predict, predict_batch, and similar histograms)");
 
     // Through-the-wire mode: the same snapshot served by a real
     // `sigma-daemon` over loopback sockets, latency measured client-side.

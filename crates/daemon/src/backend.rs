@@ -11,6 +11,7 @@
 
 use sigma_serve::{
     EngineStats, InferenceEngine, MappedSnapshot, Prediction, Result, ServeSnapshot, ShardRouter,
+    SimilarNode,
 };
 use sigma_simrank::{DynamicSimRank, EdgeUpdate};
 use std::sync::Arc;
@@ -66,6 +67,23 @@ impl Backend {
         match self {
             Backend::Engine(e) => e.predict_batch(nodes),
             Backend::Router(r) => r.predict_batch(nodes),
+        }
+    }
+
+    /// Top-`k` most similar nodes, ranked off the operator row (routed to
+    /// the row-owner shard on a router backend).
+    pub fn most_similar(&self, node: usize, k: usize) -> Result<Vec<SimilarNode>> {
+        match self {
+            Backend::Engine(e) => e.most_similar(node, k),
+            Backend::Router(r) => r.most_similar(node, k),
+        }
+    }
+
+    /// Serves a batch of `(node, k)` similarity queries in request order.
+    pub fn most_similar_batch(&self, queries: &[(usize, usize)]) -> Result<Vec<Vec<SimilarNode>>> {
+        match self {
+            Backend::Engine(e) => e.most_similar_batch(queries),
+            Backend::Router(r) => r.most_similar_batch(queries),
         }
     }
 

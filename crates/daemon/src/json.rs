@@ -53,7 +53,13 @@ impl Json {
     /// The value as a non-negative integer that fits `usize` exactly.
     pub fn as_index(&self) -> Option<usize> {
         let n = self.as_num()?;
-        if n.fract() != 0.0 || !(0.0..=u64::MAX as f64).contains(&n) {
+        // `u64::MAX as f64` rounds *up* to exactly 2^64, so the bound must
+        // be strict: an inclusive `..=` here accepted the literal
+        // 18446744073709551616 (2^64) and the saturating `as` cast then
+        // silently mapped it to `usize::MAX`. With `<`, the largest
+        // accepted double is 2^64 − 2048 (the f64 predecessor of 2^64),
+        // which the cast converts exactly.
+        if n.fract() != 0.0 || n < 0.0 || n >= u64::MAX as f64 {
             return None;
         }
         Some(n as usize)
@@ -436,6 +442,25 @@ mod tests {
         assert_eq!(parse(b"\xff\xfe").unwrap_err(), JsonError::NotUtf8);
         let deep = "[".repeat(64) + &"]".repeat(64);
         assert_eq!(parse(deep.as_bytes()).unwrap_err(), JsonError::TooDeep);
+    }
+
+    #[test]
+    fn as_index_boundaries() {
+        let idx = |text: &str| parse(text.as_bytes()).unwrap().as_index();
+        // 2^53: the largest range where f64 holds every integer exactly.
+        assert_eq!(idx("9007199254740992"), Some(1usize << 53));
+        // 2^64 − 2048: the largest f64 strictly below 2^64 — the biggest
+        // index this parser can ever accept.
+        assert_eq!(idx("18446744073709549568"), Some(0xffff_ffff_ffff_f800));
+        // 2^64 itself: `u64::MAX as f64` rounds up to exactly this value,
+        // so the old inclusive bound accepted it and the saturating cast
+        // mapped it to usize::MAX. It must be refused.
+        assert_eq!(idx("18446744073709551616"), None);
+        // Anything larger, negative, or fractional is refused too.
+        assert_eq!(idx("1e300"), None);
+        assert_eq!(idx("-1"), None);
+        assert_eq!(idx("1.5"), None);
+        assert_eq!(idx("0"), Some(0));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! |---|---|
 //! | `POST /v1/predict` | one node → logits (micro-batched) |
 //! | `POST /v1/predict_batch` | many nodes → logits, request order |
+//! | `POST /v1/similar` | top-k similar nodes off the operator row |
 //! | `POST /v1/edges` | graph edits → staleness invalidations |
 //! | `POST /v1/repair` | one incremental repair round |
 //! | `POST /v1/reload` | hot snapshot swap (single-engine backends) |
@@ -35,9 +36,10 @@
 //! * **Malformed-input hardening** — typed [`http::HttpError`]s, bounded
 //!   lines/headers/bodies, socket read/write timeouts (slow-loris defence).
 //!
-//! Responses carry logits through Rust's shortest-roundtrip float
-//! formatting, which keeps the wire bitwise-faithful to the engine — the
-//! e2e suite asserts equality against in-process calls bit for bit.
+//! Responses carry logits — and `/v1/similar` scores — through Rust's
+//! shortest-roundtrip float formatting, which keeps the wire
+//! bitwise-faithful to the engine — the e2e suite asserts equality against
+//! in-process calls bit for bit.
 
 #![deny(missing_docs)]
 

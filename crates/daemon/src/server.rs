@@ -495,6 +495,7 @@ fn handle_request(shared: &Shared, request: &Request, arrival: Instant) -> Respo
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/predict") => handle_predict(shared, request, arrival),
         ("POST", "/v1/predict_batch") => handle_predict_batch(shared, request, arrival),
+        ("POST", "/v1/similar") => handle_similar(shared, request, arrival),
         ("POST", "/v1/edges") => handle_edges(shared, request, arrival),
         ("POST", "/v1/repair") => handle_repair(shared, request, arrival),
         ("POST", "/v1/reload") => handle_reload(shared, request),
@@ -506,8 +507,8 @@ fn handle_request(shared: &Shared, request: &Request, arrival: Instant) -> Respo
         }
         (
             _,
-            "/v1/predict" | "/v1/predict_batch" | "/v1/edges" | "/v1/repair" | "/v1/reload"
-            | "/v1/stats" | "/metrics" | "/healthz",
+            "/v1/predict" | "/v1/predict_batch" | "/v1/similar" | "/v1/edges" | "/v1/repair"
+            | "/v1/reload" | "/v1/stats" | "/metrics" | "/healthz",
         ) => Response::error(405, "method_not_allowed", "wrong method for this path"),
         _ => Response::error(404, "unknown_path", "no such endpoint"),
     }
@@ -580,7 +581,9 @@ fn handle_predict(shared: &Shared, request: &Request, arrival: Instant) -> Respo
                     "deadline expired in the micro-batch queue",
                 ),
                 Ok(Err(BatchFailure::Engine(e))) => engine_error(&e),
-                Err(_) => Response::error(503, "batcher_stopped", "daemon is shutting down"),
+                Ok(Err(BatchFailure::Stopped)) | Err(_) => {
+                    Response::error(503, "batcher_stopped", "daemon is shutting down")
+                }
             },
             Err(SubmitError::Shed) => {
                 shared.metrics.batch_shed.inc();
@@ -652,6 +655,64 @@ fn handle_predict_batch(shared: &Shared, request: &Request, arrival: Instant) ->
             }
             use std::fmt::Write as _;
             let _ = write!(out, "], \"count\": {}}}", predictions.len());
+            Response::json(200, out)
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+/// `POST /v1/similar` — `{"node": n, "k": k}` → a top-level JSON array
+/// `[{"node": m, "score": s}, ...]` ranked score-desc / id-asc (the
+/// engine's pinned determinism contract). Scores use the same
+/// shortest-roundtrip decimal formatting as logits, so a sharded and a
+/// single-engine daemon answer with bitwise-identical bodies.
+///
+/// Similarity is a pure read with no completion obligation, so a draining
+/// daemon refuses new queries outright with `503` (mirroring the 503 the
+/// leftover queue gets) rather than racing the worker teardown.
+fn handle_similar(shared: &Shared, request: &Request, arrival: Instant) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(resp) => return resp,
+    };
+    let node = match body.get("node").and_then(Json::as_index) {
+        Some(node) => node,
+        None => {
+            return Response::error(
+                400,
+                "bad_json",
+                "field `node` (non-negative integer) required",
+            )
+        }
+    };
+    let k = match body.get("k").and_then(Json::as_index) {
+        Some(k) if k > 0 => k,
+        _ => return Response::error(400, "bad_json", "field `k` (positive integer) required"),
+    };
+    let deadline = match request_deadline(shared, request, arrival) {
+        Ok(deadline) => deadline,
+        Err(resp) => return resp,
+    };
+    if let Some(resp) = check_deadline(shared, deadline) {
+        return resp;
+    }
+    if shared.draining.load(Ordering::Acquire) {
+        return Response::error(503, "draining", "daemon is shutting down");
+    }
+    match shared.backend.most_similar(node, k) {
+        Ok(similar) => {
+            use std::fmt::Write as _;
+            let mut out = String::with_capacity(2 + 32 * similar.len());
+            out.push('[');
+            for (i, s) in similar.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                // Shortest-roundtrip float formatting, like logits: the
+                // score bits survive the wire exactly.
+                let _ = write!(out, "{{\"node\": {}, \"score\": {}}}", s.node, s.score);
+            }
+            out.push(']');
             Response::json(200, out)
         }
         Err(e) => engine_error(&e),
@@ -806,8 +867,9 @@ fn handle_stats(shared: &Shared) -> Response {
          \"deadline_shed\": {}, \"batch_shed\": {}, \"parse_rejects\": {}, \
          \"read_timeouts\": {}, \"handler_panics\": {}, \"coalesced_predicts\": {}, \
          \"batch_flushes\": {}, \"reloads\": {}, \"queue_depth\": {}, \"inflight\": {}}},\n\
-         \"engine\": {{\"queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-         \"batches_served\": {}, \"rows_sliced\": {}, \"stale_serves\": {}}},\n\
+         \"engine\": {{\"queries\": {}, \"similar_queries\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"batches_served\": {}, \"rows_sliced\": {}, \
+         \"stale_serves\": {}}},\n\
          \"registry\": {}}}",
         d.connections_accepted,
         d.connections_shed,
@@ -826,6 +888,7 @@ fn handle_stats(shared: &Shared) -> Response {
         d.queue_depth,
         d.inflight,
         e.nodes_served,
+        e.similar_queries,
         e.cache_hits,
         e.cache_misses,
         e.batches_served,

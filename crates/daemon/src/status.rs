@@ -18,6 +18,7 @@ pub fn kind_for(error: &ServeError) -> &'static str {
         ServeError::Corrupt { .. } => "corrupt_snapshot",
         ServeError::UnsupportedVersion { .. } => "unsupported_snapshot_version",
         ServeError::InvalidQuery { .. } => "invalid_query",
+        ServeError::NoOperator => "no_operator",
         ServeError::OperatorMismatch { .. } => "operator_mismatch",
         ServeError::WorkerConfig { .. } => "worker_config",
         ServeError::ShardConfig { .. } => "shard_config",
@@ -41,6 +42,10 @@ pub fn status_for(error: &ServeError) -> u16 {
     match error {
         // The request addressed a node outside the served graph.
         ServeError::InvalidQuery { .. } => 404,
+        // The request is well-formed but conflicts with the serving state:
+        // an operator-less engine has no similarity rows to rank (mirrors
+        // the daemon's own `no_maintainer` 409 for /v1/repair).
+        ServeError::NoOperator => 409,
         // The offered artifact (snapshot, operator, payload) cannot apply
         // to the serving state it was offered to.
         ServeError::OperatorMismatch { .. } => 409,
@@ -121,6 +126,7 @@ mod tests {
                 404,
                 "invalid_query",
             ),
+            (ServeError::NoOperator, 409, "no_operator"),
             (
                 ServeError::OperatorMismatch {
                     got: (1, 2),

@@ -131,6 +131,21 @@ pub struct Prediction {
     pub stale: bool,
 }
 
+/// One entry of a [`InferenceEngine::most_similar`] answer: a node ranked
+/// by its score in the query node's operator row.
+///
+/// Ordering is pinned — score descending, then node id ascending — so a
+/// sharded and a single-engine answer over the same operator are bitwise
+/// comparable entry by entry (ids *and* score bits), which the sharded
+/// differential oracle asserts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarNode {
+    /// The similar node's id.
+    pub node: usize,
+    /// Its operator score `S[query][node]` (SimRank-style similarity).
+    pub score: f32,
+}
+
 /// Monotone serving counters, read with [`InferenceEngine::stats`].
 ///
 /// # Tearing semantics
@@ -182,6 +197,12 @@ pub struct EngineStats {
     /// [`InferenceEngine::hot_reload`] /
     /// [`InferenceEngine::hot_reload_mapped`].
     pub snapshot_reloads: u64,
+    /// Top-k similarity queries served ([`InferenceEngine::most_similar`]
+    /// and [`InferenceEngine::most_similar_batch`], counted per query).
+    /// Similarity traffic reads operator rows directly and never touches
+    /// the `Ẑ` cache, so this counter moves while `cache_hits`/`cache_misses`
+    /// stay put — the cache-profile difference the serving bench records.
+    pub similar_queries: u64,
 }
 
 /// The engine's live counters and latency histograms, built on `sigma_obs`
@@ -207,10 +228,14 @@ struct EngineMetrics {
     embedding_rows_repaired: Arc<Counter>,
     repair_dirty_seeds: Arc<Counter>,
     snapshot_reloads: Arc<Counter>,
+    similar_queries: Arc<Counter>,
     /// Wall time of [`InferenceEngine::predict`] calls, nanoseconds.
     predict_ns: Arc<Histogram>,
     /// Wall time of [`InferenceEngine::predict_batch`] calls, nanoseconds.
     predict_batch_ns: Arc<Histogram>,
+    /// Wall time of [`InferenceEngine::most_similar`] /
+    /// [`InferenceEngine::most_similar_batch`] calls, nanoseconds.
+    similar_ns: Arc<Histogram>,
 }
 
 impl EngineMetrics {
@@ -228,8 +253,10 @@ impl EngineMetrics {
             embedding_rows_repaired: Arc::new(Counter::new()),
             repair_dirty_seeds: Arc::new(Counter::new()),
             snapshot_reloads: Arc::new(Counter::new()),
+            similar_queries: Arc::new(Counter::new()),
             predict_ns: Arc::new(Histogram::new()),
             predict_batch_ns: Arc::new(Histogram::new()),
+            similar_ns: Arc::new(Histogram::new()),
         };
         if sigma_obs::ENABLED {
             let registry = Registry::global();
@@ -303,6 +330,16 @@ impl EngineMetrics {
                 "predict_batch latency in nanoseconds",
                 &metrics.predict_batch_ns,
             );
+            registry.register_arc_counter(
+                "sigma_serve_similar_queries_total",
+                "top-k similarity queries served off operator rows",
+                &metrics.similar_queries,
+            );
+            registry.register_arc_histogram(
+                "sigma_serve_similar_ns",
+                "most_similar query latency in nanoseconds",
+                &metrics.similar_ns,
+            );
         }
         metrics
     }
@@ -323,6 +360,7 @@ impl EngineMetrics {
             embedding_rows_repaired: self.embedding_rows_repaired.get(),
             repair_dirty_seeds: self.repair_dirty_seeds.get(),
             snapshot_reloads: self.snapshot_reloads.get(),
+            similar_queries: self.similar_queries.get(),
         }
     }
 }
@@ -749,6 +787,48 @@ impl InferenceEngine {
             out.extend(slot.expect("every chunk task ran to completion")?);
         }
         Ok(out)
+    }
+
+    /// Top-`k` nodes most similar to `node`, ranked by the node's
+    /// aggregation-operator row (the top-k SimRank structure the engine
+    /// already serves aggregation from).
+    ///
+    /// Determinism contract: entries are ordered by **score descending,
+    /// then node id ascending** — pinned so a sharded router and a single
+    /// engine over the same operator return bitwise-identical answers (ids
+    /// *and* score bits), which the sharded differential oracle asserts.
+    /// The query node's own self-similarity entry is excluded; a
+    /// recommendation-style caller never wants `node` recommended to
+    /// itself. Fewer than `k` entries come back when the row holds fewer
+    /// qualifying entries.
+    ///
+    /// Unlike [`InferenceEngine::predict`], this reads the operator row
+    /// directly and never touches the `Ẑ` row cache — similarity traffic
+    /// has a very different cache profile than logit serving (the serving
+    /// bench records the difference).
+    ///
+    /// Errors with [`ServeError::InvalidQuery`] for an out-of-range node
+    /// and [`ServeError::NoOperator`] on an engine serving the
+    /// operator-less `Ẑ = H` variant.
+    pub fn most_similar(&self, node: usize, k: usize) -> Result<Vec<SimilarNode>> {
+        let sw = Stopwatch::start();
+        let mut batch = similar_batch(&self.shared, &[(node, k)])?;
+        if sigma_obs::ENABLED {
+            self.shared.stats.similar_ns.record(sw.elapsed_ns());
+        }
+        Ok(batch.pop().expect("one answer per similarity query"))
+    }
+
+    /// Serves a batch of `(node, k)` similarity queries in request order
+    /// under one read of the serving state, with the same determinism
+    /// contract as [`InferenceEngine::most_similar`].
+    pub fn most_similar_batch(&self, queries: &[(usize, usize)]) -> Result<Vec<Vec<SimilarNode>>> {
+        let sw = Stopwatch::start();
+        let result = similar_batch(&self.shared, queries);
+        if sigma_obs::ENABLED {
+            self.shared.stats.similar_ns.record(sw.elapsed_ns());
+        }
+        result
     }
 
     /// Applies a stream of edge updates to the staleness tracker.
@@ -1232,6 +1312,45 @@ fn changed_adjacency_rows(old: CsrViewAny<'_>, new: &CsrMatrix) -> Vec<usize> {
             old.row_cols(r) != &new.indices()[ns..ne] || old.row_vals(r) != &new.values()[ns..ne]
         })
         .collect()
+}
+
+/// Serves a batch of `(node, k)` similarity queries straight off the
+/// operator rows, under one read of the serving state. Validates every
+/// node before touching any row so a batch either answers fully or fails
+/// without partial work, like `serve_batch`.
+fn similar_batch(shared: &Shared, queries: &[(usize, usize)]) -> Result<Vec<Vec<SimilarNode>>> {
+    let n = shared.num_nodes;
+    for &(node, _) in queries {
+        if node >= n {
+            return Err(ServeError::InvalidQuery { node, num_nodes: n });
+        }
+    }
+    let _span = sigma_obs::span!("similar_batch", queries.len());
+    let state = shared.state.read().expect("serving state poisoned");
+    let operator = state.operator.as_ref().ok_or(ServeError::NoOperator)?;
+    let view = operator.matrix.view();
+    let mut out = Vec::with_capacity(queries.len());
+    for &(node, k) in queries {
+        let mut row: Vec<SimilarNode> = view
+            .row_cols(node)
+            .iter()
+            .zip(view.row_vals(node).iter())
+            .filter(|&(&m, _)| m as usize != node)
+            .map(|(&m, &score)| SimilarNode {
+                node: m as usize,
+                score,
+            })
+            .collect();
+        // The pinned ordering: score descending, then node id ascending.
+        // `total_cmp` keeps the sort deterministic even for NaN scores, and
+        // the id tie-break is explicit rather than relying on CSR column
+        // order surviving an unstable sort.
+        row.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.node.cmp(&b.node)));
+        row.truncate(k);
+        out.push(row);
+    }
+    shared.stats.similar_queries.add(queries.len() as u64);
+    Ok(out)
 }
 
 /// Serves one batch: cache lookups, one row-sliced SpMM for the misses,

@@ -155,6 +155,9 @@ pub enum ServeError {
         /// Number of nodes the model serves.
         num_nodes: usize,
     },
+    /// A similarity query reached an engine serving the operator-less
+    /// `Ẑ = H` variant — there are no operator rows to rank.
+    NoOperator,
     /// A replacement operator does not match the served graph.
     OperatorMismatch {
         /// Shape of the offered operator.
@@ -215,6 +218,11 @@ impl fmt::Display for ServeError {
             ServeError::InvalidQuery { node, num_nodes } => {
                 write!(f, "query for node {node} outside the served graph of {num_nodes} nodes")
             }
+            ServeError::NoOperator => write!(
+                f,
+                "similarity queries need an aggregation operator; this engine serves the \
+                 operator-less Ẑ = H variant"
+            ),
             ServeError::OperatorMismatch { got, expected } => write!(
                 f,
                 "replacement operator shape {got:?} does not match the served graph of {expected} nodes"

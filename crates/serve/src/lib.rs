@@ -71,6 +71,7 @@ mod store;
 pub use cache::LruCache;
 pub use engine::{
     EngineConfig, EngineRepair, EngineStats, InferenceEngine, OperatorPatch, Prediction,
+    SimilarNode,
 };
 pub use error::{ServeError, SnapshotError};
 pub use forward::{compute_embeddings, compute_embeddings_rows, mlp_infer_dense, mlp_infer_sparse};

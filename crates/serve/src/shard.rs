@@ -37,6 +37,7 @@
 
 use crate::engine::{
     EngineConfig, EngineRepair, EngineStats, InferenceEngine, OperatorPatch, Prediction,
+    SimilarNode,
 };
 use crate::mmap::MappedSnapshot;
 use crate::snapshot::ServeSnapshot;
@@ -182,6 +183,12 @@ pub struct RouterStats {
     pub edge_update_fanout: u64,
     /// Shards skipped by edge-update fan-out.
     pub edge_update_skipped: u64,
+    /// `most_similar`/`most_similar_batch` calls routed.
+    pub similar_routed: u64,
+    /// Per-shard similarity sub-batches dispatched (each query's operator
+    /// row lives whole on its owner shard, so this counts owner-shard
+    /// dispatches — never cross-shard merges).
+    pub similar_subbatches_dispatched: u64,
 }
 
 /// Router-level counters, registered under `sigma_shard_*` names when the
@@ -197,7 +204,9 @@ struct RouterMetrics {
     repair_dirty_seeds: Arc<Counter>,
     edge_update_fanout: Arc<Counter>,
     edge_update_skipped: Arc<Counter>,
-    /// Shards touched per routed batch.
+    similar_routed: Arc<Counter>,
+    similar_subbatches: Arc<Counter>,
+    /// Shards touched per routed batch (prediction and similarity alike).
     query_fanout: Arc<Histogram>,
 }
 
@@ -212,6 +221,8 @@ impl RouterMetrics {
             repair_dirty_seeds: Arc::new(Counter::new()),
             edge_update_fanout: Arc::new(Counter::new()),
             edge_update_skipped: Arc::new(Counter::new()),
+            similar_routed: Arc::new(Counter::new()),
+            similar_subbatches: Arc::new(Counter::new()),
             query_fanout: Arc::new(Histogram::new()),
         };
         if sigma_obs::ENABLED {
@@ -255,6 +266,16 @@ impl RouterMetrics {
                 "sigma_shard_edge_update_skipped_total",
                 "shards skipped by edge-update fan-out",
                 &metrics.edge_update_skipped,
+            );
+            registry.register_arc_counter(
+                "sigma_shard_similar_routed_total",
+                "most_similar calls routed across shards",
+                &metrics.similar_routed,
+            );
+            registry.register_arc_counter(
+                "sigma_shard_similar_subbatches_total",
+                "per-shard similarity sub-batches dispatched by the router",
+                &metrics.similar_subbatches,
             );
             registry.register_arc_histogram(
                 "sigma_shard_query_fanout",
@@ -507,6 +528,89 @@ impl ShardRouter {
             .collect())
     }
 
+    /// Top-`k` nodes most similar to `node`, served by the shard owning
+    /// the node's operator row.
+    ///
+    /// Rows are full-shape per shard ([`masked_operator`] keeps the whole
+    /// `(n, n)` coordinate space), so the owner shard holds the *complete*
+    /// row and no cross-shard merge is ever needed — asserted here. The
+    /// answer is bitwise identical to [`InferenceEngine::most_similar`] on
+    /// an unsharded engine: both paths rank the same row through the same
+    /// code, under the same pinned score-desc/id-asc tie-break.
+    pub fn most_similar(&self, node: usize, k: usize) -> Result<Vec<SimilarNode>> {
+        if node >= self.num_nodes {
+            return Err(ServeError::InvalidQuery {
+                node,
+                num_nodes: self.num_nodes,
+            });
+        }
+        let shard = self.plan.shard_of(node);
+        debug_assert!(
+            self.plan.ranges()[shard].contains(&node),
+            "owner shard {shard} must hold node {node}'s complete operator row"
+        );
+        let answer = self.engines[shard]
+            .most_similar(node, k)
+            .map_err(|e| shard_error(shard, e))?;
+        self.metrics.similar_routed.inc();
+        self.metrics.similar_subbatches.inc();
+        if sigma_obs::ENABLED {
+            self.metrics.query_fanout.record(1);
+        }
+        Ok(answer)
+    }
+
+    /// Serves a batch of `(node, k)` similarity queries: scatters each
+    /// query to its row-owner shard, queries each touched shard once, and
+    /// gathers answers back in canonical request order (duplicates served
+    /// per occurrence, as a single engine would).
+    pub fn most_similar_batch(&self, queries: &[(usize, usize)]) -> Result<Vec<Vec<SimilarNode>>> {
+        for &(node, _) in queries {
+            if node >= self.num_nodes {
+                return Err(ServeError::InvalidQuery {
+                    node,
+                    num_nodes: self.num_nodes,
+                });
+            }
+        }
+        let shards = self.plan.num_shards();
+        let mut sub_batches: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shards];
+        let mut slots: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (slot, &query) in queries.iter().enumerate() {
+            let shard = self.plan.shard_of(query.0);
+            debug_assert!(
+                self.plan.ranges()[shard].contains(&query.0),
+                "owner shard {shard} must hold node {}'s complete operator row",
+                query.0
+            );
+            sub_batches[shard].push(query);
+            slots[shard].push(slot);
+        }
+        let mut out: Vec<Option<Vec<SimilarNode>>> = queries.iter().map(|_| None).collect();
+        let mut fanout = 0u64;
+        for shard in 0..shards {
+            if sub_batches[shard].is_empty() {
+                continue;
+            }
+            fanout += 1;
+            let answers = self.engines[shard]
+                .most_similar_batch(&sub_batches[shard])
+                .map_err(|e| shard_error(shard, e))?;
+            for (&slot, answer) in slots[shard].iter().zip(answers) {
+                out[slot] = Some(answer);
+            }
+        }
+        self.metrics.similar_routed.inc();
+        self.metrics.similar_subbatches.add(fanout);
+        if sigma_obs::ENABLED {
+            self.metrics.query_fanout.record(fanout);
+        }
+        Ok(out
+            .into_iter()
+            .map(|a| a.expect("every similarity query was served by its owning shard"))
+            .collect())
+    }
+
     /// Applies a stream of edge updates, fanning invalidation only to the
     /// shards it can affect.
     ///
@@ -753,6 +857,7 @@ impl ShardRouter {
             engines.embedding_rows_repaired += s.embedding_rows_repaired;
             engines.repair_dirty_seeds += s.repair_dirty_seeds;
             engines.snapshot_reloads += s.snapshot_reloads;
+            engines.similar_queries += s.similar_queries;
         }
         RouterStats {
             engines,
@@ -765,6 +870,8 @@ impl ShardRouter {
             repair_dirty_seeds: self.metrics.repair_dirty_seeds.get(),
             edge_update_fanout: self.metrics.edge_update_fanout.get(),
             edge_update_skipped: self.metrics.edge_update_skipped.get(),
+            similar_routed: self.metrics.similar_routed.get(),
+            similar_subbatches_dispatched: self.metrics.similar_subbatches.get(),
         }
     }
 }

@@ -19,8 +19,9 @@
 //!   replayed against a 1-engine reference and an N-shard
 //!   [`sigma_serve::ShardRouter`] simultaneously (optionally with mapped
 //!   shard engines), asserting per-batch bitwise equality of logits,
-//!   labels, operator rows, and exact per-shard hit/eviction accounting,
-//!   plus footprint-sparse repair fan-out.
+//!   labels, operator rows, interleaved `most_similar` answers (ids and
+//!   score bits, before and after each repair), and exact per-shard
+//!   hit/eviction accounting, plus footprint-sparse repair fan-out.
 //!
 //! The crate is a regular (non-dev) dependency of test targets only; it
 //! ships no production code paths.
@@ -33,7 +34,7 @@ pub mod wire;
 
 pub use generate::{random_graph, random_trace, TraceShape};
 pub use oracle::{
-    replay_differential, replay_differential_sharded, serving_fixture, DifferentialReport,
-    ServingFixture, ShardedDifferentialReport,
+    assert_similar_bitwise_eq, replay_differential, replay_differential_sharded, serving_fixture,
+    DifferentialReport, ServingFixture, ShardedDifferentialReport,
 };
 pub use wire::{WireClient, WireResponse};

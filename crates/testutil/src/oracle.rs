@@ -24,7 +24,7 @@ use sigma_graph::Graph;
 use sigma_matrix::{CsrMatrix, DenseMatrix};
 use sigma_serve::{
     EngineConfig, InferenceEngine, MappedSnapshot, Prediction, ServeSnapshot, ShardRouter,
-    ShardRouterConfig,
+    ShardRouterConfig, SimilarNode,
 };
 use sigma_simrank::{DynamicSimRank, EdgeUpdate, LocalPush, SimRankConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -333,6 +333,40 @@ fn assert_predictions_bitwise_eq(routed: &[Prediction], reference: &[Prediction]
     }
 }
 
+/// Panics unless two `most_similar` answer sets agree **bitwise**: the
+/// same node ids in the same rank order, and the same score bit patterns —
+/// the determinism contract behind `/v1/similar` at any shard count.
+pub fn assert_similar_bitwise_eq(
+    actual: &[Vec<SimilarNode>],
+    expected: &[Vec<SimilarNode>],
+    what: &str,
+) {
+    assert_eq!(actual.len(), expected.len(), "{what}: answer count");
+    for (query, (a, e)) in actual.iter().zip(expected).enumerate() {
+        assert_eq!(a.len(), e.len(), "{what}: query {query} answer length");
+        for (rank, (x, y)) in a.iter().zip(e).enumerate() {
+            assert_eq!(
+                x.node, y.node,
+                "{what}: query {query} rank {rank} node id diverges"
+            );
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "{what}: query {query} rank {rank} (node {}) score bits diverge",
+                x.node
+            );
+        }
+    }
+}
+
+/// The similarity query mix the sharded oracle interleaves with its edit
+/// trace: every node once, with `k` cycling through `1..=top_k + 2` so the
+/// sweep covers under-full truncation, exact-`k`, and `k` past the row's
+/// population (top-k rows hold at most `top_k` entries).
+fn similar_query_mix(n: usize, top_k: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|v| (v, (v % (top_k + 2)) + 1)).collect()
+}
+
 /// The shard-generic differential oracle: replays `batches` against a
 /// 1-engine reference and an N-shard [`ShardRouter`] simultaneously, both
 /// driven by identically seeded maintainers, asserting after every batch:
@@ -342,6 +376,11 @@ fn assert_predictions_bitwise_eq(routed: &[Prediction], reference: &[Prediction]
 /// * the router's reported changed-row set equals the reference repair's,
 /// * every served prediction (logits, label, cache attribution, staleness)
 ///   is bitwise equal in canonical request order,
+/// * interleaved `most_similar` queries — before the repair (served off
+///   the stale operator) and after it — are bitwise equal (ids **and**
+///   score bits) between the router and the reference, never touch the
+///   `Ẑ` cache, and move the `similar_queries` / `similar_routed`
+///   counters by exactly the query count,
 /// * fan-out accounting is exact (`fanout + skipped == shards`) and
 ///   **footprint-sparse**: a skipped shard's range provably misses the
 ///   reference repair's invalidated, patched and re-encoded row sets,
@@ -423,6 +462,29 @@ pub fn replay_differential_sharded(
         "warm-up: reassembled operator vs reference operator",
     );
 
+    // Cold-state similarity parity, batch path and single-query path: the
+    // single-query spot checks prove `most_similar` and
+    // `most_similar_batch` rank through the same code.
+    let queries = similar_query_mix(n, top_k);
+    let reference_similar = reference
+        .most_similar_batch(&queries)
+        .expect("warm reference similarity");
+    let routed_similar = router
+        .most_similar_batch(&queries)
+        .expect("warm routed similarity");
+    assert_similar_bitwise_eq(&routed_similar, &reference_similar, "warm-up similarity");
+    for &(node, k) in queries.iter().step_by(7) {
+        let single_routed = router.most_similar(node, k).expect("routed single query");
+        let single_reference = reference
+            .most_similar(node, k)
+            .expect("reference single query");
+        assert_similar_bitwise_eq(
+            std::slice::from_ref(&single_routed),
+            std::slice::from_ref(&single_reference),
+            &format!("warm-up single similarity for node {node}"),
+        );
+    }
+
     let mut report = ShardedDifferentialReport {
         rounds: 0,
         num_nodes: n,
@@ -439,6 +501,22 @@ pub fn replay_differential_sharded(
         router_maintainer
             .apply_batch(batch)
             .expect("in-bounds edits");
+
+        // Interleaved similarity, pre-repair: both sides still serve the
+        // previous round's operator (edits are pending in the maintainers,
+        // not applied to the engines), so answers may be stale — but they
+        // must be *identically* stale, bit for bit.
+        let reference_pre = reference
+            .most_similar_batch(&queries)
+            .expect("pre-repair reference similarity");
+        let routed_pre = router
+            .most_similar_batch(&queries)
+            .expect("pre-repair routed similarity");
+        assert_similar_bitwise_eq(
+            &routed_pre,
+            &reference_pre,
+            &format!("round {round}: pre-repair similarity"),
+        );
 
         let router_stats_before = router.stats();
         let reference_repair = reference
@@ -582,6 +660,50 @@ pub fn replay_differential_sharded(
                 "round {round}: shard {shard} saw capacity evictions with a full-size cache"
             );
         }
+
+        // Interleaved similarity, post-repair: answers rank the freshly
+        // patched operator rows and must again agree bitwise. Measured
+        // tightly so the counter deltas are attributable: similarity moves
+        // `similar_queries`/`similar_routed` by exactly the query count and
+        // leaves the `Ẑ` row cache untouched (hits *and* misses) — the
+        // cache-profile contrast with predict traffic that the serving
+        // bench records.
+        let sim_stats_before = router.stats();
+        let reference_post = reference
+            .most_similar_batch(&queries)
+            .expect("post-repair reference similarity");
+        let routed_post = router
+            .most_similar_batch(&queries)
+            .expect("post-repair routed similarity");
+        let sim_stats_after = router.stats();
+        assert_similar_bitwise_eq(
+            &routed_post,
+            &reference_post,
+            &format!("round {round}: post-repair similarity"),
+        );
+        assert_eq!(
+            sim_stats_after.engines.similar_queries - sim_stats_before.engines.similar_queries,
+            n as u64,
+            "round {round}: every similarity query is counted once across the fleet"
+        );
+        assert_eq!(
+            sim_stats_after.similar_routed - sim_stats_before.similar_routed,
+            1,
+            "round {round}: one routed similarity batch"
+        );
+        assert!(
+            sim_stats_after.similar_subbatches_dispatched
+                > sim_stats_before.similar_subbatches_dispatched,
+            "round {round}: a non-empty similarity batch dispatches at least one sub-batch"
+        );
+        assert_eq!(
+            sim_stats_after.engines.cache_hits, sim_stats_before.engines.cache_hits,
+            "round {round}: similarity traffic must not hit the Ẑ cache"
+        );
+        assert_eq!(
+            sim_stats_after.engines.cache_misses, sim_stats_before.engines.cache_misses,
+            "round {round}: similarity traffic must not miss (= populate) the Ẑ cache"
+        );
 
         report.rounds += 1;
         report.operator_rows_patched += router_repair.operator_rows.len();

@@ -1,15 +1,17 @@
 //! Cross-crate integration: the shard-generic differential oracle.
 //!
 //! An N-shard `ShardRouter` must be bitwise indistinguishable from a
-//! single `InferenceEngine` — logits, labels, operator rows, cache
-//! attribution, per-shard hit/eviction accounting — through edit +
-//! incremental-repair traces, at every shard count and every thread
-//! count, on both the decoded (owned) and mapped (zero-copy v2) shard
-//! paths. The oracle (`sigma_testutil::replay_differential_sharded`)
-//! asserts all of that per batch; this suite sweeps the dimensions and
-//! additionally pins the *economics*: repair fan-out on a large sparse
-//! graph must be footprint-sparse, measured through the router's
-//! `sigma_shard_*` counters.
+//! single `InferenceEngine` — logits, labels, `most_similar` answers (ids
+//! *and* score bits), operator rows, cache attribution, per-shard
+//! hit/eviction accounting — through edit + incremental-repair traces, at
+//! every shard count and every thread count, on both the decoded (owned)
+//! and mapped (zero-copy v2) shard paths. The oracle
+//! (`sigma_testutil::replay_differential_sharded`) asserts all of that per
+//! batch, interleaving top-k similarity queries before and after each
+//! repair round; this suite sweeps the dimensions and additionally pins
+//! the *economics*: repair fan-out on a large sparse graph must be
+//! footprint-sparse, measured through the router's `sigma_shard_*`
+//! counters.
 
 use sigma_testutil::{random_graph, random_trace, replay_differential_sharded, TraceShape};
 
